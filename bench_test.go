@@ -1,0 +1,195 @@
+// Benchmarks regenerating each of the paper's tables and figures (one
+// benchmark per artifact; see DESIGN.md section 4 for the mapping), plus
+// microbenchmarks of the substrates they run on. Multi-kernel artifacts use
+// a representative kernel subset so a full -bench=. sweep stays affordable
+// on a single core; cmd/experiments regenerates the complete versions.
+package repro_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/ptx"
+	"repro/internal/stats"
+)
+
+// benchCfg builds the trimmed experiment configuration used by the
+// per-artifact benchmarks.
+func benchCfg(subset ...string) experiments.Config {
+	return experiments.Config{
+		Scale:        kernels.ScaleSmall,
+		BaselineRuns: 400,
+		Seed:         1,
+		Out:          io.Discard,
+		Kernels:      subset,
+	}
+}
+
+// benchSubset is a cross-section of the suite: one kernel from each Fig. 10
+// class — with instruction commonality (2DCONV), without (Gaussian K1), and
+// single-representative (GEMM).
+var benchSubset = []string{"2DCONV K1", "Gaussian K1", "GEMM K1"}
+
+func runExperiment(b *testing.B, id string, cfg experiments.Config) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1", benchCfg(benchSubset...)) }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2", benchCfg()) }
+func BenchmarkFig2(b *testing.B)   { runExperiment(b, "fig2", benchCfg("2DCONV K1")) }
+func BenchmarkFig3(b *testing.B)   { runExperiment(b, "fig3", benchCfg("2DCONV K1")) }
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3", benchCfg()) }
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4", benchCfg()) }
+func BenchmarkFig4(b *testing.B)   { runExperiment(b, "fig4", benchCfg("2DCONV K1")) }
+func BenchmarkFig5(b *testing.B)   { runExperiment(b, "fig5", benchCfg()) }
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5", benchCfg()) }
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6", benchCfg("2DCONV K1")) }
+func BenchmarkTable7(b *testing.B) { runExperiment(b, "table7", benchCfg(benchSubset...)) }
+func BenchmarkFig6(b *testing.B)   { runExperiment(b, "fig6", benchCfg("PathFinder K1")) }
+func BenchmarkFig7(b *testing.B)   { runExperiment(b, "fig7", benchCfg("2DCONV K1")) }
+func BenchmarkFig8(b *testing.B)   { runExperiment(b, "fig8", benchCfg("2DCONV K1")) }
+func BenchmarkFig9(b *testing.B)   { runExperiment(b, "fig9", benchCfg(benchSubset...)) }
+func BenchmarkFig10(b *testing.B)  { runExperiment(b, "fig10", benchCfg(benchSubset...)) }
+
+// Extension benchmarks (not paper artifacts).
+func BenchmarkModels(b *testing.B)     { runExperiment(b, "models", benchCfg("2DCONV K1")) }
+func BenchmarkAblation(b *testing.B)   { runExperiment(b, "ablation", benchCfg("2DCONV K1")) }
+func BenchmarkExhaustive(b *testing.B) { runExperiment(b, "exhaustive", benchCfg("Gaussian K125")) }
+
+// --- substrate microbenchmarks -----------------------------------------
+
+// BenchmarkSimulatorThroughput measures raw interpreter speed: dynamic
+// instructions per second on the GEMM inner loop (reported as ns/op per
+// kernel execution; TotalDyn instructions each).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec, _ := kernels.ByName("GEMM K1")
+	inst, err := spec.Build(kernels.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	launch := &gpusim.Launch{
+		Prog:   inst.Target.Prog,
+		Grid:   inst.Target.Grid,
+		Block:  inst.Target.Block,
+		Params: inst.Target.Params,
+	}
+	var dyn int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := gpusim.Execute(inst.Target.Init.Clone(), launch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trap != nil {
+			b.Fatal(res.Trap)
+		}
+		dyn = res.TotalDyn
+	}
+	b.ReportMetric(float64(dyn), "instrs/exec")
+}
+
+// BenchmarkAssemble measures the PTX assembler on the largest kernel source.
+func BenchmarkAssemble(b *testing.B) {
+	spec, _ := kernels.ByName("HotSpot K1")
+	inst, err := spec.Build(kernels.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := inst.Target.Prog.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ptx.Assemble("bench", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInjectionRun measures one fault-injection experiment end to end
+// (device clone + execution + output comparison).
+func BenchmarkInjectionRun(b *testing.B) {
+	spec, _ := kernels.ByName("2DCONV K1")
+	inst, err := spec.Build(kernels.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inst.Target.Prepare(); err != nil {
+		b.Fatal(err)
+	}
+	space := fault.NewSpace(inst.Target.Profile())
+	site := space.Site(space.Total() / 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Target.RunSite(site); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildPlan measures the pruning pipeline itself (no injections):
+// profiling reuse, grouping, diffing, sampling, site materialization.
+func BenchmarkBuildPlan(b *testing.B) {
+	spec, _ := kernels.ByName("HotSpot K1")
+	inst, err := spec.Build(kernels.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inst.Target.Prepare(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildPlan(inst.Target, core.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSiteDecode measures flat-index fault-site decoding, the hot path
+// of random baseline sampling over huge spaces.
+func BenchmarkSiteDecode(b *testing.B) {
+	spec, _ := kernels.ByName("MVT K1")
+	inst, err := spec.Build(kernels.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inst.Target.Prepare(); err != nil {
+		b.Fatal(err)
+	}
+	space := fault.NewSpace(inst.Target.Profile())
+	rng := stats.NewRNG(1)
+	total := space.Total()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space.Site(rng.Int63n(total))
+	}
+}
+
+// BenchmarkProfile measures a full fault-free profiling run with tracing.
+func BenchmarkProfile(b *testing.B) {
+	spec, _ := kernels.ByName("PathFinder K1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, err := spec.Build(kernels.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := inst.Target.Prepare(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

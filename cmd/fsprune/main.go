@@ -1,0 +1,162 @@
+// Command fsprune drives the fault-site pruning pipeline on one kernel:
+// profile it, enumerate its exhaustive fault-site space, build the pruned
+// plan, and estimate its error resilience profile against a random baseline.
+//
+// Usage:
+//
+//	fsprune -list
+//	fsprune -kernel "GEMM K1" -action plan
+//	fsprune -kernel "2DCONV K1" -action estimate -baseline 3000
+//	fsprune -kernel "HotSpot K1" -action profile -scale paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	bl "repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/kernels"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available kernels")
+	kernel := flag.String("kernel", "", `kernel name, e.g. "GEMM K1"`)
+	action := flag.String("action", "estimate", "profile | sites | plan | estimate | baseline")
+	scale := flag.String("scale", "small", "kernel scale: small or paper")
+	baseline := flag.Int("baseline", 3000, "baseline campaign size")
+	seed := flag.Int64("seed", 1, "random seed")
+	par := flag.Int("par", 0, "campaign parallelism (0 = GOMAXPROCS)")
+	loopIters := flag.Int("loop-iters", 0, "sampled loop iterations (0 = default, <0 = disable)")
+	autoLoop := flag.Bool("auto-loop", false, "pick the loop sample size adaptively (paper Section III-D)")
+	bitSamples := flag.Int("bit-samples", 0, "sampled bit positions per register (0 = default, <0 = all)")
+	margin := flag.Float64("margin", 0.03, "target error margin for -action baseline (adaptive)")
+	deadPrune := flag.Bool("dead", false, "enable the dead-destination extension stage")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Parse()
+
+	if *list {
+		for _, s := range kernels.All() {
+			fmt.Printf("%-16s %-10s %-20s %6d threads (paper)\n",
+				s.Meta.Name(), s.Meta.Suite, s.Meta.Kernel, s.Meta.PaperThreads)
+		}
+		return
+	}
+
+	sc := kernels.ScaleSmall
+	if *scale == "paper" {
+		sc = kernels.ScalePaper
+	}
+	spec, ok := kernels.ByName(*kernel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown kernel %q (use -list)\n", *kernel)
+		os.Exit(2)
+	}
+	inst, err := spec.Build(sc)
+	fatal(err)
+	fatal(inst.Target.Prepare())
+	prof := inst.Target.Profile()
+	space := fault.NewSpace(prof)
+
+	switch *action {
+	case "profile":
+		if *asJSON {
+			fatal(report.Write(os.Stdout, report.NewKernelProfile(spec.Meta.Name(), prof)))
+			return
+		}
+		fmt.Printf("%s (%s): %d threads, %d CTAs, %d dynamic instructions\n",
+			spec.Meta.Name(), sc, inst.Target.Threads(), prof.NumCTAs(), prof.TotalDyn())
+		groups := core.GroupCTAs(prof)
+		fmt.Printf("CTA groups: %d\n", len(groups))
+		for gi, g := range groups {
+			fmt.Printf("  C-%d: %d CTAs, avg iCnt %.1f\n", gi+1, len(g.Members), g.AvgICnt)
+		}
+		tgs := core.GroupThreads(prof, groups, core.GroupingOptions{})
+		fmt.Printf("thread groups: %d\n", len(tgs))
+		for _, tg := range tgs {
+			ls := trace.SummarizeLoops(prof.Threads[tg.Rep].PCs)
+			fmt.Printf("  rep t%d: iCnt %d, population %d, loops %d (%d iters, %.1f%% in loop)\n",
+				tg.Rep, tg.ICnt, tg.Population, ls.Loops, ls.TotalIters, ls.PctInLoop())
+		}
+
+	case "sites":
+		fmt.Printf("%s (%s): exhaustive fault sites (Eq. 1) = %d\n",
+			spec.Meta.Name(), sc, space.Total())
+		t := stats.TStat(0.998)
+		fmt.Printf("random baseline for 99.8%% CI, 0.63%% margin: %d runs\n",
+			stats.SampleSize(space.Total(), 0.0063, t, 0.5))
+		t = stats.TStat(0.95)
+		fmt.Printf("random baseline for 95%% CI, 3%% margin: %d runs\n",
+			stats.SampleSize(space.Total(), 0.03, t, 0.5))
+
+	case "plan", "estimate":
+		iters := *loopIters
+		if *autoLoop {
+			auto, err := core.AutoLoopIters(inst.Target, core.AutoLoopOptions{
+				Base:     core.Options{Seed: *seed, BitSamples: *bitSamples},
+				Campaign: fault.CampaignOptions{Parallelism: *par},
+			})
+			fatal(err)
+			iters = auto.Iters
+			fmt.Printf("adaptive loop sampling selected %d iterations (%d steps tried)\n",
+				auto.Iters, len(auto.Steps))
+		}
+		plan, err := core.BuildPlan(inst.Target, core.Options{
+			Seed:           *seed,
+			LoopIters:      iters,
+			BitSamples:     *bitSamples,
+			DeadWritePrune: *deadPrune,
+		})
+		fatal(err)
+		if *action == "plan" {
+			if *asJSON {
+				fatal(report.Write(os.Stdout, report.NewPlan(plan)))
+			} else {
+				fmt.Println(plan)
+			}
+			return
+		}
+		if !*asJSON {
+			fmt.Println(plan)
+		}
+		est, err := plan.Estimate(fault.CampaignOptions{Parallelism: *par})
+		fatal(err)
+		rng := stats.NewRNG(*seed).Split("baseline")
+		sites := space.Random(rng, *baseline)
+		res, err := fault.Run(inst.Target, fault.Uniform(sites), fault.CampaignOptions{Parallelism: *par})
+		fatal(err)
+		if *asJSON {
+			fatal(report.Write(os.Stdout, report.NewEstimate(plan, est, &res.Dist)))
+			return
+		}
+		fmt.Printf("pruned estimate:  %s\n", est)
+		fmt.Printf("random baseline:  %s\n", res.Dist)
+		fmt.Printf("max class delta:  %.2f pp\n", est.MaxClassDelta(res.Dist))
+
+	case "baseline":
+		res, err := bl.Adaptive(inst.Target, bl.Options{
+			Margin:   *margin,
+			MaxRuns:  *baseline,
+			Seed:     *seed,
+			Campaign: fault.CampaignOptions{Parallelism: *par},
+		})
+		fatal(err)
+		fmt.Printf("adaptive random baseline: %s\n", res)
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown action %q\n", *action)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

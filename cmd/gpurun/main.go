@@ -1,0 +1,119 @@
+// Command gpurun runs one workload kernel on the gpusim simulator and dumps
+// execution statistics — the simulator's debugging tool.
+//
+// Usage:
+//
+//	gpurun -kernel "PathFinder K1"
+//	gpurun -kernel "GEMM K1" -disasm
+//	gpurun -kernel "2DCONV K1" -trace 12 -n 30
+//	gpurun -kernel "MVT K1" -inject "0:100:5"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", `kernel name, e.g. "GEMM K1"`)
+	scale := flag.String("scale", "small", "kernel scale: small or paper")
+	disasm := flag.Bool("disasm", false, "print the kernel's assembly and exit")
+	traceThread := flag.Int("trace", -1, "dump the dynamic instruction trace of one thread")
+	traceLen := flag.Int("n", 50, "trace length cap")
+	inject := flag.String("inject", "", "inject one fault, format thread:dyninst:bit")
+	warp := flag.Int("warp", 0, "SIMT lockstep warp width (0 = thread-serial scheduling)")
+	flag.Parse()
+
+	sc := kernels.ScaleSmall
+	if *scale == "paper" {
+		sc = kernels.ScalePaper
+	}
+	spec, ok := kernels.ByName(*kernel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
+		os.Exit(2)
+	}
+	inst, err := spec.Build(sc)
+	fatal(err)
+
+	if *disasm {
+		fmt.Printf("// %s (%s, %s)\n", spec.Meta.Kernel, spec.Meta.Suite, spec.Meta.App)
+		fmt.Print(inst.Target.Prog.String())
+		return
+	}
+
+	fatal(inst.Target.Prepare())
+	prof := inst.Target.Profile()
+	fmt.Printf("%s: grid %v block %v = %d threads, %d dynamic instructions\n",
+		spec.Meta.Name(), inst.Target.Grid, inst.Target.Block,
+		inst.Target.Threads(), prof.TotalDyn())
+
+	if *warp > 0 {
+		// Re-execute under SIMT lockstep scheduling and verify equivalence.
+		dev := inst.Target.Init.Clone()
+		res, err := gpusim.Execute(dev, &gpusim.Launch{
+			Prog:     inst.Target.Prog,
+			Grid:     inst.Target.Grid,
+			Block:    inst.Target.Block,
+			Params:   inst.Target.Params,
+			WarpSize: *warp,
+		})
+		fatal(err)
+		if res.Trap != nil {
+			fatal(res.Trap)
+		}
+		fmt.Printf("warp=%d lockstep run: %d dynamic instructions (scheduling-equivalent: %v)\n",
+			*warp, res.TotalDyn, res.TotalDyn == prof.TotalDyn())
+	}
+
+	var minI, maxI int64
+	minI = prof.Threads[0].ICnt
+	for i := range prof.Threads {
+		if c := prof.Threads[i].ICnt; c < minI {
+			minI = c
+		} else if c > maxI {
+			maxI = c
+		}
+	}
+	fmt.Printf("thread iCnt: min %d, max %d\n", minI, maxI)
+	fmt.Printf("exhaustive fault sites: %d\n", fault.NewSpace(prof).Total())
+
+	if *traceThread >= 0 {
+		tp := prof.Threads[*traceThread]
+		n := int(tp.ICnt)
+		if n > *traceLen {
+			n = *traceLen
+		}
+		fmt.Printf("trace of thread %d (first %d of %d):\n", *traceThread, n, tp.ICnt)
+		for i := 0; i < n; i++ {
+			pc := gpusim.PC(tp.PCs[i])
+			mark := " "
+			if gpusim.Wrote(tp.PCs[i]) {
+				mark = "*"
+			}
+			fmt.Printf("  %5d %s pc=%-4d %s\n", i, mark, pc, inst.Target.Prog.Instrs[pc].String())
+		}
+	}
+
+	if *inject != "" {
+		var site fault.Site
+		if _, err := fmt.Sscanf(*inject, "%d:%d:%d", &site.Thread, &site.DynInst, &site.Bit); err != nil {
+			fatal(fmt.Errorf("bad -inject %q: %v", *inject, err))
+		}
+		outcome, err := inst.Target.RunSite(site)
+		fatal(err)
+		fmt.Printf("injection %v -> %s\n", site, outcome)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

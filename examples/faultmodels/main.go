@@ -1,0 +1,75 @@
+// Faultmodels: study one kernel under the three supported fault models —
+// the paper's single-bit destination-register flip, the double-bit flip
+// that defeats SEC-DED correction, and the load-store-unit address flip —
+// and, because the kernel is small, judge each profile against the true
+// exhaustive ground truth for the baseline model.
+//
+// Run with: go run ./examples/faultmodels
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fault"
+	"repro/internal/kernels"
+	"repro/internal/stats"
+)
+
+func main() {
+	spec, _ := kernels.ByName("Gaussian K1")
+	inst, err := spec.Build(kernels.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := inst.Target
+	if err := target.Prepare(); err != nil {
+		log.Fatal(err)
+	}
+	prof := target.Profile()
+	space := fault.NewSpace(prof)
+	rng := stats.NewRNG(17)
+
+	fmt.Printf("== %s: %d destination-register fault sites ==\n",
+		target.Name, space.Total())
+
+	// Exhaustive ground truth under the baseline model.
+	var all []fault.Site
+	for t := range prof.Threads {
+		all = append(all, space.ThreadSites(t, nil)...)
+	}
+	truth, err := fault.Run(target, fault.Uniform(all), fault.CampaignOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exhaustive dest-value truth: %s\n\n", truth.Dist)
+
+	// Sampled campaigns per model.
+	const runs = 800
+	fmt.Printf("%-12s %8s | %s\n", "model", "#runs", "profile")
+	for _, model := range []fault.Model{
+		fault.ModelDestValue, fault.ModelDestDouble, fault.ModelMemAddr,
+	} {
+		var sites []fault.Site
+		if model == fault.ModelMemAddr {
+			var pool []fault.Site
+			for t := range prof.Threads {
+				pool = append(pool, space.MemAddrSites(t, nil)...)
+			}
+			for i := 0; i < runs; i++ {
+				sites = append(sites, pool[rng.Intn(len(pool))])
+			}
+		} else {
+			sites = space.Random(rng, runs)
+		}
+		res, err := fault.RunModel(target, fault.Uniform(sites), model, fault.CampaignOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %8d | %s\n", model, len(sites), res.Dist)
+	}
+
+	fmt.Println("\naddress faults skew heavily toward crashes (out-of-range or")
+	fmt.Println("misaligned accesses), while value faults drive SDCs — the reason")
+	fmt.Println("the paper's methodology focuses on destination-register values.")
+}

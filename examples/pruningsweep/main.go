@@ -1,0 +1,69 @@
+// Pruningsweep: an ablation over the pipeline's knobs on one kernel —
+// which pruning stages buy how much reduction at what accuracy cost. This
+// is the experiment a user runs before trusting the pruned space for a new
+// workload class.
+//
+// Run with: go run ./examples/pruningsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/kernels"
+	"repro/internal/stats"
+)
+
+func main() {
+	spec, _ := kernels.ByName("K-Means K2")
+	inst, err := spec.Build(kernels.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := inst.Target
+	if err := target.Prepare(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground-truth stand-in: a large random campaign.
+	space := fault.NewSpace(target.Profile())
+	baseSites := space.Random(stats.NewRNG(5), 4000)
+	base, err := fault.Run(target, fault.Uniform(baseSites), fault.CampaignOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline (%d runs): %s\n\n", len(baseSites), base.Dist)
+
+	configs := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"full pipeline (defaults)", core.Options{}},
+		{"no instruction pruning", core.Options{DisableInstPrune: true}},
+		{"no loop sampling", core.Options{LoopIters: -1}},
+		{"loop sample = 3", core.Options{LoopIters: 3}},
+		{"bit samples = 4", core.Options{BitSamples: 4}},
+		{"all bits kept", core.Options{BitSamples: -1}},
+		{"keep pred flags", core.Options{DisablePredPrune: true}},
+		{"+ dead-write pruning", core.Options{DeadWritePrune: true}},
+		{"signature grouping", core.Options{Grouping: core.GroupingOptions{BySignature: true}}},
+		{"one-step grouping", core.Options{Grouping: core.GroupingOptions{SkipCTAGrouping: true}}},
+	}
+
+	fmt.Printf("%-28s %9s %9s %8s\n", "configuration", "#sites", "reduction", "maxΔpp")
+	for _, c := range configs {
+		c.opt.Seed = 11
+		plan, err := core.BuildPlan(target, c.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := plan.Estimate(fault.CampaignOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %9d %8.0fx %8.2f\n",
+			c.name, len(plan.Sites), plan.Reduction(), est.MaxClassDelta(base.Dist))
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: profile a kernel, look at its exhaustive fault-site space,
+// prune it with the four-stage pipeline, and estimate its error resilience
+// profile — the library's core loop in ~40 lines.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/kernels"
+)
+
+func main() {
+	// Pick a workload from the built-in Rodinia/Polybench suite.
+	spec, ok := kernels.ByName("2DCONV K1")
+	if !ok {
+		log.Fatal("kernel not found")
+	}
+	inst, err := spec.Build(kernels.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Prepare runs the fault-free golden execution: it captures the golden
+	// output, per-thread profiles (iCnt, traces), and the hang watchdog.
+	target := inst.Target
+	if err := target.Prepare(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Eq. 1: the exhaustive fault-site count — every destination-register
+	// bit of every dynamic instruction of every thread.
+	space := fault.NewSpace(target.Profile())
+	fmt.Printf("%s: %d threads, %d exhaustive fault sites\n",
+		target.Name, target.Threads(), space.Total())
+
+	// Progressive pruning: CTA/thread-wise -> instruction-wise ->
+	// loop-wise -> bit-wise.
+	plan, err := core.BuildPlan(target, core.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+
+	// Run one injection experiment per pruned site and aggregate the
+	// weighted outcome distribution — the error resilience profile.
+	profile, err := plan.Estimate(fault.CampaignOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated resilience profile: %s\n", profile)
+	fmt.Printf("fault-site reduction: %.0fx\n", plan.Reduction())
+}

@@ -1,0 +1,127 @@
+// Reduction: a beyond-the-paper workload — a shared-memory tree reduction
+// (the classic CUDA reduction kernel) — run through the full pruning
+// pipeline. Its structure stresses the methodology differently from the
+// paper's suite: barriers inside the loop, and half the active threads
+// dropping out at every tree level, so iCnt classes form a geometric ladder
+// (one thread group per level) rather than the paper's border/interior
+// split.
+//
+// Run with: go run ./examples/reduction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/ptx"
+	"repro/internal/stats"
+)
+
+// Each CTA of bw threads reduces bw inputs: stage the values in shared
+// memory, then halve the active set log2(bw) times, synchronizing at every
+// level; thread 0 writes the block sum.
+//
+// Parameters: s[0x10]=&in, s[0x14]=&out.
+const reductionSrc = `
+	cvt.u32.u16 $r0, %tid.x
+	cvt.u32.u16 $r1, %ctaid.x
+	cvt.u32.u16 $r2, %ntid.x
+	mad.lo.u32 $r3, $r1, $r2, $r0        // global index
+	shl.u32 $r4, $r0, 0x00000002         // tile offset
+	shl.u32 $r5, $r3, 0x00000002
+	add.u32 $r5, $r5, s[0x0010]
+	ld.global.u32 $r6, [$r5]
+	st.shared.u32 s[$r4+0x0040], $r6     // stage value
+	bar.sync 0x00000000
+	shr.u32 $r7, $r2, 0x00000001         // stride = bw/2
+	lloop: set.lt.u32.u32 $p0/$o127, $r0, $r7
+	@$p0.eq bra lskip                    // retired threads only synchronize
+	shl.u32 $r8, $r7, 0x00000002
+	add.u32 $r8, $r8, $r4
+	ld.shared.u32 $r9, s[$r8+0x0040]     // partner value
+	ld.shared.u32 $r10, s[$r4+0x0040]
+	add.u32 $r10, $r10, $r9
+	st.shared.u32 s[$r4+0x0040], $r10
+	lskip: bar.sync 0x00000000
+	shr.u32 $r7, $r7, 0x00000001
+	set.gt.u32.u32 $p0/$o127, $r7, $r124
+	@$p0.ne bra lloop
+	set.eq.u32.u32 $p0/$o127, $r0, $r124
+	@$p0.eq bra lexit
+	ld.shared.u32 $r10, s[0x0040]
+	shl.u32 $r11, $r1, 0x00000002
+	add.u32 $r11, $r11, s[0x0014]
+	st.global.u32 [$r11], $r10           // block sum
+	lexit: exit
+`
+
+func main() {
+	prog, err := ptx.Assemble("reduce", reductionSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const blocks, bw = 4, 64
+	n := blocks * bw
+	in := make([]uint32, n)
+	var sums [blocks]uint32
+	for i := range in {
+		in[i] = uint32(i*7 + 3)
+		sums[i/bw] += in[i]
+	}
+	dev := gpusim.NewDevice(4*n + 4*blocks)
+	dev.WriteWords(0, in)
+
+	target := &fault.Target{
+		Name:   "reduction",
+		Prog:   prog,
+		Grid:   gpusim.Dim3{X: blocks, Y: 1, Z: 1},
+		Block:  gpusim.Dim3{X: bw, Y: 1, Z: 1},
+		Params: []uint32{0, uint32(4 * n)},
+		Init:   dev,
+		Output: []fault.Range{{Off: 4 * n, Len: 4 * blocks}},
+	}
+	if err := target.Prepare(); err != nil {
+		log.Fatal(err)
+	}
+	// Sanity: the golden block sums must match the host.
+	got := target.Golden()
+	for b := 0; b < blocks; b++ {
+		w := uint32(got[4*b]) | uint32(got[4*b+1])<<8 |
+			uint32(got[4*b+2])<<16 | uint32(got[4*b+3])<<24
+		if w != sums[b] {
+			log.Fatalf("block %d sum = %d, want %d", b, w, sums[b])
+		}
+	}
+
+	prof := target.Profile()
+	fmt.Printf("== %s: %d threads, %d fault sites ==\n",
+		target.Name, target.Threads(), fault.NewSpace(prof).Total())
+
+	plan, err := core.BuildPlan(target, core.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+	fmt.Println("thread groups (one per tree level a thread survives to):")
+	for _, g := range plan.ThreadGroups {
+		fmt.Printf("  iCnt %3d: %2d threads per CTA\n", g.ICnt, g.InCTACount)
+	}
+
+	est, err := plan.Estimate(fault.CampaignOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	space := fault.NewSpace(prof)
+	base, err := fault.Run(target, fault.Uniform(space.Random(stats.NewRNG(9), 2000)),
+		fault.CampaignOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pruned estimate:  %s\n", est)
+	fmt.Printf("random baseline:  %s\n", base.Dist)
+	fmt.Printf("max class delta:  %.2f pp\n", est.MaxClassDelta(base.Dist))
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// BitPositions returns the sampled bit positions for a register width under
+// the paper's scheme (Section III-E): the register is divided into equal
+// sections and one equally spaced position is taken per slot, e.g. 8 samples
+// of a 32-bit register select {3, 7, 11, 15, 19, 23, 27, 31}. samples <= 0 or
+// >= width keeps every position.
+func BitPositions(width, samples int) []int {
+	if samples <= 0 || samples >= width {
+		out := make([]int, width)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if width%samples != 0 {
+		panic(fmt.Sprintf("core: %d bit samples do not divide width %d", samples, width))
+	}
+	step := width / samples
+	out := make([]int, samples)
+	for j := range out {
+		out[j] = (j+1)*step - 1
+	}
+	return out
+}
+
+// BitPruneResult summarizes stage 4.
+type BitPruneResult struct {
+	// Samples is the configured per-32-bit-register sample count (0 = all).
+	Samples int
+	// PredPruned counts predicate flag bits pruned analytically.
+	PredPruned int64
+	// GPRPruned counts 32-bit register bits pruned by sampling.
+	GPRPruned int64
+}
+
+// expandBits implements stage 4 (paper Section III-E) and materializes the
+// final weighted fault sites.
+//
+// For 32-bit destinations, bitSamples equally spaced positions stand for the
+// whole register, each carrying width/samples of the weight. For 4-bit
+// predicate destinations only the zero flag is injected: the sign, carry and
+// overflow flags never feed branch conditions in the studied workloads, so
+// their sites are pruned as known-masked and their weight is returned in
+// knownMasked for the estimator to credit to the masked class directly.
+func expandBits(prof *trace.Profile, sels []*selection, bitSamples int) (sites []fault.WeightedSite, knownMasked float64, res BitPruneResult) {
+	res.Samples = bitSamples
+	for _, s := range sels {
+		tp := &prof.Threads[s.thread]
+		for i := int64(0); i < tp.ICnt; i++ {
+			w := s.weight[i]
+			if w == 0 {
+				continue
+			}
+			bits := prof.SiteBitsOf(s.thread, i)
+			if bits == 0 {
+				continue
+			}
+			if bits == isa.PredBits {
+				sites = append(sites, fault.WeightedSite{
+					Site:   fault.Site{Thread: s.thread, DynInst: i, Bit: 0},
+					Weight: w,
+				})
+				knownMasked += w * float64(isa.PredBits-1)
+				res.PredPruned += int64(isa.PredBits - 1)
+				continue
+			}
+			pos := BitPositions(bits, bitSamples)
+			perBit := w * float64(bits) / float64(len(pos))
+			for _, b := range pos {
+				sites = append(sites, fault.WeightedSite{
+					Site:   fault.Site{Thread: s.thread, DynInst: i, Bit: b},
+					Weight: perBit,
+				})
+			}
+			res.GPRPruned += int64(bits - len(pos))
+		}
+	}
+	return sites, knownMasked, res
+}
+
+// expandBitsKeepPred is expandBits with predicate-flag pruning disabled:
+// every predicate bit becomes an injection site. Used by the ablation that
+// quantifies what the analytic .pred rule saves.
+func expandBitsKeepPred(prof *trace.Profile, sels []*selection, bitSamples int) (sites []fault.WeightedSite, knownMasked float64, res BitPruneResult) {
+	res.Samples = bitSamples
+	for _, s := range sels {
+		tp := &prof.Threads[s.thread]
+		for i := int64(0); i < tp.ICnt; i++ {
+			w := s.weight[i]
+			if w == 0 {
+				continue
+			}
+			bits := prof.SiteBitsOf(s.thread, i)
+			if bits == 0 {
+				continue
+			}
+			if bits == isa.PredBits {
+				for b := 0; b < bits; b++ {
+					sites = append(sites, fault.WeightedSite{
+						Site:   fault.Site{Thread: s.thread, DynInst: i, Bit: b},
+						Weight: w,
+					})
+				}
+				continue
+			}
+			pos := BitPositions(bits, bitSamples)
+			perBit := w * float64(bits) / float64(len(pos))
+			for _, b := range pos {
+				sites = append(sites, fault.WeightedSite{
+					Site:   fault.Site{Thread: s.thread, DynInst: i, Bit: b},
+					Weight: perBit,
+				})
+			}
+			res.GPRPruned += int64(bits - len(pos))
+		}
+	}
+	return sites, knownMasked, res
+}

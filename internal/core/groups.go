@@ -1,0 +1,185 @@
+// Package core implements the paper's primary contribution: progressive
+// fault-site pruning for GPGPU reliability analysis (Nie et al., MICRO 2018,
+// Section III). Four stages — thread-wise (with a CTA-wise first step),
+// instruction-wise, loop-wise and bit-wise — shrink the exhaustive fault-site
+// space of Eq. 1 by orders of magnitude while preserving the application's
+// error resilience profile. The output of the pipeline is a small set of
+// weighted fault sites whose weighted outcome distribution estimates the
+// profile of the full space.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// CTAGroup is one class of CTAs that share the same per-thread dynamic
+// instruction count (iCnt) distribution (paper Section III-B1, Fig. 3: the
+// iCnt boxplots classify CTAs exactly like 300K fault-injection runs do).
+type CTAGroup struct {
+	// Members are the CTA ids in launch order.
+	Members []int
+	// Rep is the representative CTA (the first member).
+	Rep int
+	// AvgICnt is the average thread iCnt of the group (Tables III/IV).
+	AvgICnt float64
+	// Box summarizes the per-thread iCnt distribution of the rep CTA.
+	Box stats.Boxplot
+}
+
+// Proportion is the fraction of the kernel's CTAs in this group.
+func (g CTAGroup) Proportion(totalCTAs int) float64 {
+	return float64(len(g.Members)) / float64(totalCTAs)
+}
+
+// ctaKey fingerprints the iCnt multiset of one CTA: two CTAs with identical
+// sorted per-thread iCnt vectors classify together. This is a stricter
+// version of the paper's "average iCnt" grouping that cannot conflate
+// distinct distributions with equal means.
+func ctaKey(icnts []int64) uint64 {
+	v := append([]int64(nil), icnts...)
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, x := range v {
+		for i := range buf {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// GroupCTAs classifies a kernel's CTAs by their thread-iCnt distribution.
+// Groups are ordered by first appearance (launch order), matching the
+// paper's C-1, C-2, ... numbering.
+func GroupCTAs(prof *trace.Profile) []CTAGroup {
+	byKey := make(map[uint64]int)
+	var groups []CTAGroup
+	for cta := 0; cta < prof.NumCTAs(); cta++ {
+		icnts := prof.CTAICnts(cta)
+		key := ctaKey(icnts)
+		gi, seen := byKey[key]
+		if !seen {
+			gi = len(groups)
+			byKey[key] = gi
+			vals := make([]float64, len(icnts))
+			for i, x := range icnts {
+				vals[i] = float64(x)
+			}
+			groups = append(groups, CTAGroup{
+				Rep:     cta,
+				AvgICnt: prof.CTAAvgICnt(cta),
+				Box:     stats.NewBoxplot(vals),
+			})
+		}
+		groups[gi].Members = append(groups[gi].Members, cta)
+	}
+	return groups
+}
+
+// ThreadGroup is one class of threads that share the same iCnt within a
+// representative CTA (paper Section III-B2, Fig. 4). One representative
+// thread is injected; its outcomes are weighted by the population of threads
+// the group stands for across the whole kernel.
+type ThreadGroup struct {
+	// CTAGroup indexes the owning CTA group (-1 for one-step grouping).
+	CTAGroup int
+	// ICnt is the exact dynamic instruction count shared by members.
+	ICnt int64
+	// Sig is the PC-sequence signature shared by members (0 when grouping
+	// ignores signatures).
+	Sig uint64
+	// Rep is the representative flat thread id: the middle member of the
+	// group in thread-id order. The paper picks a random member; the middle
+	// one is deterministic and avoids systematically selecting boundary
+	// threads (thread 0, tile-edge-adjacent threads) whose data-dependent
+	// fault behaviour is least typical of the group.
+	Rep int
+	// Members are the group's flat thread ids within the rep CTA.
+	Members []int
+	// InCTACount is the number of member threads within the rep CTA.
+	InCTACount int
+	// Population is the total number of threads this group represents
+	// across the kernel: InCTACount times the CTA-group size.
+	Population int64
+}
+
+// GroupingOptions tunes stage-1 grouping.
+type GroupingOptions struct {
+	// BySignature additionally splits equal-iCnt threads whose static-PC
+	// sequences differ. The paper uses iCnt alone; signatures are exposed
+	// for the ablation study of classifier quality.
+	BySignature bool
+	// SkipCTAGrouping performs one-step kernel-wide thread grouping. The
+	// paper shows this is unsound for kernels like HotSpot where equal-iCnt
+	// threads in different CTAs execute different instructions; it is
+	// exposed for the ablation that demonstrates exactly that.
+	SkipCTAGrouping bool
+}
+
+// GroupThreads performs the paper's two-step stage-1 grouping: CTAs first
+// (unless skipped), then threads by exact iCnt inside each representative
+// CTA. The returned groups partition the kernel's thread population:
+// the Populations sum to the total thread count.
+func GroupThreads(prof *trace.Profile, ctaGroups []CTAGroup, opt GroupingOptions) []ThreadGroup {
+	type key struct {
+		icnt int64
+		sig  uint64
+	}
+	var out []ThreadGroup
+
+	groupRange := func(ctaGroup int, lo, hi int, multiplier int64) {
+		byKey := make(map[key]int)
+		base := len(out)
+		for t := lo; t < hi; t++ {
+			k := key{icnt: prof.Threads[t].ICnt}
+			if opt.BySignature {
+				k.sig = prof.Threads[t].Sig
+			}
+			gi, seen := byKey[k]
+			if !seen {
+				gi = len(out)
+				byKey[k] = gi
+				out = append(out, ThreadGroup{
+					CTAGroup: ctaGroup,
+					ICnt:     k.icnt,
+					Sig:      k.sig,
+				})
+			}
+			out[gi].Members = append(out[gi].Members, t)
+			out[gi].InCTACount++
+		}
+		for i := base; i < len(out); i++ {
+			out[i].Population = int64(out[i].InCTACount) * multiplier
+			out[i].Rep = out[i].Members[len(out[i].Members)/2]
+		}
+	}
+
+	if opt.SkipCTAGrouping {
+		groupRange(-1, 0, len(prof.Threads), 1)
+		return out
+	}
+	for gi, g := range ctaGroups {
+		lo, hi := prof.CTAThreads(g.Rep)
+		groupRange(gi, lo, hi, int64(len(g.Members)))
+	}
+	return out
+}
+
+// ValidateGrouping checks the partition invariant: group populations must
+// sum to the kernel's thread count.
+func ValidateGrouping(prof *trace.Profile, groups []ThreadGroup) error {
+	var pop int64
+	for _, g := range groups {
+		pop += g.Population
+	}
+	if want := int64(len(prof.Threads)); pop != want {
+		return fmt.Errorf("core: grouped population %d != thread count %d", pop, want)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// LoopSample describes the iteration sampling applied to one loop of one
+// representative thread.
+type LoopSample struct {
+	Thread int
+	// Loop is the loop head PC.
+	Loop int
+	// TotalIters is the number of iterations carrying selected instructions.
+	TotalIters int
+	// Sampled are the kept iteration indices (sorted).
+	Sampled []int
+	// Factor is the weight multiplier applied to kept sites so the loop's
+	// total weighted site mass is preserved.
+	Factor float64
+}
+
+// LoopPruneResult summarizes stage 3.
+type LoopPruneResult struct {
+	Samples []LoopSample
+	// PrunedInsts counts dynamic instructions dropped from the selection.
+	PrunedInsts int64
+}
+
+// pruneLoops implements stage 3 (paper Section III-D): within each
+// representative thread, each loop's selected instructions are restricted to
+// a random sample of numIters iterations; the kept sites are up-weighted so
+// the loop's total weighted fault-site mass is unchanged. Loops whose
+// iteration count does not exceed numIters are untouched. Instructions
+// outside loops are always kept: the paper samples only the repetitive
+// portion.
+func pruneLoops(prof *trace.Profile, sels []*selection, numIters int, rng *stats.RNG) LoopPruneResult {
+	var res LoopPruneResult
+	if numIters <= 0 {
+		return res
+	}
+	for _, s := range sels {
+		tp := &prof.Threads[s.thread]
+		tags := trace.AnnotateLoops(tp.PCs)
+
+		// Group the selected instructions of each loop by iteration.
+		type loopInfo struct {
+			iters map[int][]int64 // iteration -> dyn instruction indices
+		}
+		loops := make(map[int]*loopInfo)
+		for i := int64(0); i < tp.ICnt; i++ {
+			if s.weight[i] == 0 || !tags[i].InLoop() {
+				continue
+			}
+			li := loops[tags[i].Loop]
+			if li == nil {
+				li = &loopInfo{iters: make(map[int][]int64)}
+				loops[tags[i].Loop] = li
+			}
+			li.iters[tags[i].Iter] = append(li.iters[tags[i].Iter], i)
+		}
+
+		heads := make([]int, 0, len(loops))
+		for h := range loops {
+			heads = append(heads, h)
+		}
+		sort.Ints(heads)
+
+		for _, h := range heads {
+			li := loops[h]
+			if len(li.iters) <= numIters {
+				continue
+			}
+			iters := make([]int, 0, len(li.iters))
+			for it := range li.iters {
+				iters = append(iters, it)
+			}
+			sort.Ints(iters)
+
+			picks := rng.Split("loop").SampleInts(len(iters), numIters)
+			keep := make(map[int]bool, numIters)
+			sampled := make([]int, 0, numIters)
+			for _, p := range picks {
+				keep[iters[p]] = true
+				sampled = append(sampled, iters[p])
+			}
+			sort.Ints(sampled)
+
+			// Weighted site mass before/after determines the rescale factor.
+			var massAll, massKept float64
+			for it, insts := range li.iters {
+				for _, i := range insts {
+					m := s.weight[i] * float64(prof.SiteBitsOf(s.thread, i))
+					massAll += m
+					if keep[it] {
+						massKept += m
+					}
+				}
+			}
+			factor := 1.0
+			if massKept > 0 {
+				factor = massAll / massKept
+			}
+			for it, insts := range li.iters {
+				for _, i := range insts {
+					if keep[it] {
+						s.weight[i] *= factor
+					} else {
+						s.weight[i] = 0
+						res.PrunedInsts++
+					}
+				}
+			}
+			res.Samples = append(res.Samples, LoopSample{
+				Thread: s.thread, Loop: h,
+				TotalIters: len(iters), Sampled: sampled, Factor: factor,
+			})
+		}
+	}
+	return res
+}

@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// WeightedSite pairs a fault site with the population weight it represents.
+// After pruning, one representative site stands for all the sites it pruned;
+// campaign aggregation multiplies its outcome by the weight so the estimated
+// profile refers to the original, unpruned population.
+type WeightedSite struct {
+	Site   Site
+	Weight float64
+}
+
+// Uniform wraps plain sites with weight 1.
+func Uniform(sites []Site) []WeightedSite {
+	ws := make([]WeightedSite, len(sites))
+	for i, s := range sites {
+		ws[i] = WeightedSite{Site: s, Weight: 1}
+	}
+	return ws
+}
+
+// Dedup merges duplicate sites by summing their weights, preserving
+// first-occurrence order. Outcomes are deterministic per site, so running a
+// duplicate would only repeat work; random sampling with replacement (the
+// baseline campaigns) and concatenated plans both benefit. Total weight is
+// preserved exactly.
+func Dedup(sites []WeightedSite) []WeightedSite {
+	index := make(map[Site]int, len(sites))
+	out := make([]WeightedSite, 0, len(sites))
+	for _, ws := range sites {
+		if i, seen := index[ws.Site]; seen {
+			out[i].Weight += ws.Weight
+			continue
+		}
+		index[ws.Site] = len(out)
+		out = append(out, ws)
+	}
+	return out
+}
+
+// CampaignResult is the aggregate of an injection campaign.
+type CampaignResult struct {
+	// Dist is the weighted outcome distribution (the resilience profile).
+	Dist Dist
+	// PerSite, when requested, holds the outcome of each injected site in
+	// input order.
+	PerSite []Outcome
+}
+
+// CampaignOptions tunes Run.
+type CampaignOptions struct {
+	// Parallelism is the worker count; 0 means GOMAXPROCS.
+	Parallelism int
+	// KeepPerSite retains each site's individual outcome.
+	KeepPerSite bool
+}
+
+// Run executes one fault-injection experiment per weighted site, in
+// parallel, and aggregates the weighted outcome distribution. The target
+// must be Prepared. Every experiment clones the pristine device, so runs
+// are independent and the aggregation is deterministic regardless of
+// scheduling.
+func Run(t *Target, sites []WeightedSite, opt CampaignOptions) (*CampaignResult, error) {
+	return runWith(sites, opt, t.RunSite)
+}
+
+// runWith is the shared parallel campaign engine; runSite evaluates one site.
+func runWith(sites []WeightedSite, opt CampaignOptions, runSite func(Site) (Outcome, error)) (*CampaignResult, error) {
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sites) {
+		workers = len(sites)
+	}
+	if len(sites) == 0 {
+		return &CampaignResult{}, nil
+	}
+
+	outcomes := make([]Outcome, len(sites))
+	errs := make([]error, workers)
+	var next int64
+	var mu sync.Mutex
+	takeBatch := func() (lo, hi int) {
+		const batch = 16
+		mu.Lock()
+		defer mu.Unlock()
+		lo = int(next)
+		if lo >= len(sites) {
+			return 0, 0
+		}
+		hi = lo + batch
+		if hi > len(sites) {
+			hi = len(sites)
+		}
+		next = int64(hi)
+		return lo, hi
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo, hi := takeBatch()
+				if lo == hi {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					o, err := runSite(sites[i].Site)
+					if err != nil {
+						errs[w] = fmt.Errorf("site %v: %w", sites[i].Site, err)
+						return
+					}
+					outcomes[i] = o
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &CampaignResult{}
+	for i, ws := range sites {
+		res.Dist.Add(outcomes[i], ws.Weight)
+	}
+	if opt.KeepPerSite {
+		res.PerSite = outcomes
+	}
+	return res, nil
+}

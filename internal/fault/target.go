@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Range is a byte range of global memory that forms part of a kernel's
+// output; outcome classification compares these ranges against the golden
+// run.
+type Range struct {
+	Off, Len int
+}
+
+// Target is one kernel launch prepared for fault injection: program,
+// geometry, pristine input state, and the golden output to compare against.
+type Target struct {
+	// Name identifies the target in reports ("GEMM K1").
+	Name string
+	// Prog is the kernel.
+	Prog *isa.Program
+	// Grid and Block define the launch geometry.
+	Grid, Block gpusim.Dim3
+	// Params are the kernel parameters.
+	Params []uint32
+	// SharedBytes is the per-CTA shared memory size (0 = default).
+	SharedBytes int
+	// Init is the pristine device state; every experiment runs on a clone.
+	Init *gpusim.Device
+	// Output lists the global-memory ranges that constitute the output.
+	Output []Range
+
+	// WatchdogFactor scales the fault-free per-thread iCnt into the
+	// injection-run watchdog (hang detector). 0 means DefaultWatchdogFactor.
+	WatchdogFactor int64
+
+	golden   []byte
+	watchdog int64
+	profile  *trace.Profile
+}
+
+// DefaultWatchdogFactor multiplies the fault-free maximum thread iCnt to
+// obtain the hang-detection ceiling for injection runs. A corrupted loop
+// counter can legitimately lengthen execution; 8x the fault-free maximum
+// (plus slack) separates that from true runaways quickly.
+const DefaultWatchdogFactor = 8
+
+// launch builds a Launch for one run of the target.
+func (t *Target) launch(inj *gpusim.Injection, tracer gpusim.Tracer, watchdog int64) *gpusim.Launch {
+	return &gpusim.Launch{
+		Prog:        t.Prog,
+		Grid:        t.Grid,
+		Block:       t.Block,
+		Params:      t.Params,
+		SharedBytes: t.SharedBytes,
+		Watchdog:    watchdog,
+		Inject:      inj,
+		Tracer:      tracer,
+	}
+}
+
+// Threads is the total thread count of the launch.
+func (t *Target) Threads() int { return t.Grid.Count() * t.Block.Count() }
+
+// Prepare runs the fault-free golden execution with tracing, capturing the
+// golden output, the per-thread profile, and the injection watchdog. It must
+// be called (once) before Profile, Golden, or RunSite.
+func (t *Target) Prepare() error {
+	if t.profile != nil {
+		return nil
+	}
+	if len(t.Output) == 0 {
+		return fmt.Errorf("fault: target %s has no output ranges", t.Name)
+	}
+	tr := gpusim.NewProfileTrace(t.Threads())
+	dev := t.Init.Clone()
+	res, err := gpusim.Execute(dev, t.launch(nil, tr, 0))
+	if err != nil {
+		return fmt.Errorf("fault: target %s golden run: %w", t.Name, err)
+	}
+	if res.Trap != nil {
+		return fmt.Errorf("fault: target %s golden run trapped: %v", t.Name, res.Trap)
+	}
+	t.golden = t.extractOutput(dev)
+
+	prof, err := trace.Build(t.Prog, tr, t.Block.Count())
+	if err != nil {
+		return fmt.Errorf("fault: target %s: %w", t.Name, err)
+	}
+	t.profile = prof
+
+	factor := t.WatchdogFactor
+	if factor == 0 {
+		factor = DefaultWatchdogFactor
+	}
+	var maxICnt int64
+	for i := range prof.Threads {
+		if prof.Threads[i].ICnt > maxICnt {
+			maxICnt = prof.Threads[i].ICnt
+		}
+	}
+	t.watchdog = factor*maxICnt + 1024
+	return nil
+}
+
+// Profile returns the fault-free profile (Prepare must have succeeded).
+func (t *Target) Profile() *trace.Profile {
+	if t.profile == nil {
+		panic("fault: Profile before Prepare")
+	}
+	return t.profile
+}
+
+// Golden returns the golden output bytes.
+func (t *Target) Golden() []byte {
+	if t.profile == nil {
+		panic("fault: Golden before Prepare")
+	}
+	return t.golden
+}
+
+// extractOutput concatenates the output ranges of a device.
+func (t *Target) extractOutput(dev *gpusim.Device) []byte {
+	var n int
+	for _, r := range t.Output {
+		n += r.Len
+	}
+	out := make([]byte, 0, n)
+	for _, r := range t.Output {
+		out = append(out, dev.Global[r.Off:r.Off+r.Len]...)
+	}
+	return out
+}
+
+// Site identifies one fault site per the paper's model: thread id, dynamic
+// instruction index, destination-register bit position.
+type Site struct {
+	Thread  int
+	DynInst int64
+	Bit     int
+}
+
+func (s Site) String() string {
+	return fmt.Sprintf("t%d/i%d/b%d", s.Thread, s.DynInst, s.Bit)
+}
+
+// ErrNotASite reports injection at a dynamic instruction that writes no
+// destination register.
+var ErrNotASite = errors.New("fault: dynamic instruction writes no destination register")
+
+// RunSite executes one fault-injection experiment and classifies its
+// outcome. It validates against the golden profile that the site denotes a
+// destination-writing dynamic instruction.
+func (t *Target) RunSite(site Site) (Outcome, error) {
+	if t.profile == nil {
+		return 0, errors.New("fault: RunSite before Prepare")
+	}
+	if site.Thread < 0 || site.Thread >= len(t.profile.Threads) {
+		return 0, fmt.Errorf("fault: thread %d out of range", site.Thread)
+	}
+	tp := &t.profile.Threads[site.Thread]
+	if site.DynInst < 0 || site.DynInst >= tp.ICnt {
+		return 0, fmt.Errorf("fault: dyn inst %d out of range for thread %d (iCnt %d)",
+			site.DynInst, site.Thread, tp.ICnt)
+	}
+	bits := t.profile.SiteBitsOf(site.Thread, site.DynInst)
+	if bits == 0 {
+		return 0, ErrNotASite
+	}
+	if site.Bit < 0 || site.Bit >= bits {
+		return 0, fmt.Errorf("fault: bit %d out of range (%d-bit destination)", site.Bit, bits)
+	}
+
+	dev := t.Init.Clone()
+	inj := &gpusim.Injection{Thread: site.Thread, DynInst: site.DynInst, Bit: site.Bit}
+	res, err := gpusim.Execute(dev, t.launch(inj, nil, t.watchdog))
+	if err != nil {
+		return 0, err
+	}
+	if res.Trap != nil {
+		if res.Trap.Kind == gpusim.TrapWatchdog || res.Trap.Kind == gpusim.TrapDeadlock {
+			return Hang, nil
+		}
+		return Crash, nil
+	}
+	if bytes.Equal(t.extractOutput(dev), t.golden) {
+		return Masked, nil
+	}
+	return SDC, nil
+}
+
+// DestBitsAt reports the destination width in bits of thread t's dynamic
+// instruction i (0 when it is not a fault site).
+func (t *Target) DestBitsAt(thread int, dyn int64) int {
+	return t.profile.SiteBitsOf(thread, dyn)
+}
+
+// StaticPCAt reports the static PC of thread t's dynamic instruction i.
+func (t *Target) StaticPCAt(thread int, dyn int64) int {
+	return gpusim.PC(t.profile.Threads[thread].PCs[dyn])
+}
+
+// Instr returns the static instruction at a PC.
+func (t *Target) Instr(pc int) *isa.Instruction { return &t.Prog.Instrs[pc] }

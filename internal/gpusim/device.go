@@ -1,0 +1,235 @@
+// Package gpusim is a functional SIMT GPU simulator for the PTXPlus-flavoured
+// ISA in internal/isa. It stands in for GPGPU-Sim (PTXPlus mode) as the
+// fault-injection substrate of the reproduced paper: it executes a kernel
+// grid thread by thread with CTA-level barrier scheduling, exposes the exact
+// fault surface the paper targets (the destination register of every dynamic
+// instruction of every thread), and classifies abnormal terminations
+// (memory faults, watchdog hangs, barrier deadlocks) that fold into the
+// paper's "other" outcome category.
+package gpusim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Dim3 is a CUDA-style 3-component extent.
+type Dim3 struct{ X, Y, Z int }
+
+// Count returns the number of elements covered by the extent.
+func (d Dim3) Count() int {
+	x, y, z := d.X, d.Y, d.Z
+	if x == 0 {
+		x = 1
+	}
+	if y == 0 {
+		y = 1
+	}
+	if z == 0 {
+		z = 1
+	}
+	return x * y * z
+}
+
+func (d Dim3) String() string { return fmt.Sprintf("(%d,%d,%d)", d.X, d.Y, d.Z) }
+
+// ParamBase is the byte offset in shared memory where kernel parameters are
+// materialized, mirroring PTXPlus listings that read the first parameter at
+// s[0x0010].
+const ParamBase = 0x10
+
+// DefaultSharedBytes is the per-CTA shared memory size when a launch does
+// not specify one (16 KiB, the Fermi-era default the paper's baseline uses).
+const DefaultSharedBytes = 16 * 1024
+
+// DefaultWatchdog is the per-thread dynamic instruction ceiling when a
+// launch does not specify one. Fault-free kernels in this repository run a
+// few thousand dynamic instructions per thread at most, so one million
+// indicates a runaway (hang) with a wide margin.
+const DefaultWatchdog = 1_000_000
+
+// Launch describes one kernel launch.
+type Launch struct {
+	// Prog is the assembled kernel.
+	Prog *isa.Program
+	// Grid and Block are the CTA grid and per-CTA thread extents.
+	Grid, Block Dim3
+	// Params are the kernel parameters, copied to each CTA's shared memory
+	// at ParamBase (word k at byte ParamBase+4k).
+	Params []uint32
+	// SharedBytes is the per-CTA shared memory size; 0 means
+	// DefaultSharedBytes.
+	SharedBytes int
+	// Watchdog is the per-thread dynamic instruction ceiling; 0 means
+	// DefaultWatchdog. Exceeding it raises a TrapWatchdog (a hang).
+	Watchdog int64
+	// Inject, when non-nil, flips one destination-register bit at one
+	// dynamic instruction of one thread.
+	Inject *Injection
+	// Tracer, when non-nil, observes every dynamic instruction.
+	Tracer Tracer
+	// WarpSize selects the intra-CTA scheduling model: 0 runs threads
+	// serially to barrier boundaries (fast, the default); a positive value
+	// executes threads in SIMT lockstep warps of that width with min-PC
+	// reconvergence, like the paper's GPGPU-Sim substrate. Per-thread
+	// dynamic traces — and therefore fault sites and outcomes — are
+	// identical across modes for race-free kernels; the warp mode exists
+	// to validate exactly that.
+	WarpSize int
+}
+
+// InjectKind selects the fault model applied at the injection point.
+type InjectKind uint8
+
+// Injection kinds. The paper's baseline model is InjectDestValue; the other
+// two reproduce the additional modes of SASSIFI-style injectors the paper
+// discusses in its related work: multi-bit value corruption (what SEC-DED
+// ECC cannot correct) and effective-address corruption in the load-store
+// unit.
+const (
+	// InjectDestValue flips one destination-register bit after writeback.
+	InjectDestValue InjectKind = iota
+	// InjectDestDouble flips two adjacent destination-register bits.
+	InjectDestDouble
+	// InjectMemAddr flips one bit of the effective address of the
+	// instruction's memory operand before the access executes.
+	InjectMemAddr
+)
+
+// String names the kind.
+func (k InjectKind) String() string {
+	switch k {
+	case InjectDestDouble:
+		return "dest-double"
+	case InjectMemAddr:
+		return "mem-addr"
+	}
+	return "dest-value"
+}
+
+// Injection is a single fault to apply during execution at dynamic
+// instruction DynInst (0-based, counted over all instructions thread Thread
+// issues). Under the paper's baseline model (InjectDestValue) bit Bit of the
+// instruction's destination register is flipped after writeback
+// (Section II-C); see InjectKind for the extended models.
+type Injection struct {
+	Thread  int        // flat global thread id
+	DynInst int64      // dynamic instruction index within the thread
+	Bit     int        // bit position (register or effective address)
+	Kind    InjectKind // fault model
+}
+
+// Tracer observes retired dynamic instructions during a run. Implementations
+// must be cheap: the profiler records one entry per dynamic instruction.
+type Tracer interface {
+	// Record is called for every retired dynamic instruction: thread is the
+	// flat global thread id, pc the static instruction index, and wrote
+	// whether the instruction wrote a live destination register (and is
+	// therefore a fault site).
+	Record(thread, pc int, wrote bool)
+}
+
+// TrapKind classifies abnormal terminations.
+type TrapKind uint8
+
+// Trap kinds. All of them map to the paper's "other" outcome class
+// (crashes and hangs).
+const (
+	TrapNone     TrapKind = iota
+	TrapMemFault          // out-of-range or misaligned access
+	TrapWatchdog          // per-thread dynamic instruction ceiling exceeded
+	TrapDeadlock          // CTA barrier cannot be satisfied
+	TrapInvalid           // malformed execution (bad operand shape, ...)
+)
+
+// String names the trap kind.
+func (k TrapKind) String() string {
+	switch k {
+	case TrapMemFault:
+		return "memfault"
+	case TrapWatchdog:
+		return "watchdog"
+	case TrapDeadlock:
+		return "deadlock"
+	case TrapInvalid:
+		return "invalid"
+	}
+	return "none"
+}
+
+// Trap describes an abnormal termination of a run.
+type Trap struct {
+	Kind   TrapKind
+	Thread int // flat global thread id, -1 when not thread-specific
+	PC     int
+	Msg    string
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("gpusim: %s at thread %d pc %d: %s", t.Kind, t.Thread, t.PC, t.Msg)
+}
+
+// Result summarizes a completed (or trapped) run.
+type Result struct {
+	// Trap is nil for a clean run.
+	Trap *Trap
+	// ThreadICnt is the per-flat-thread dynamic instruction count (the
+	// paper's iCnt). On a trapped run it reflects progress made so far.
+	ThreadICnt []int64
+	// TotalDyn is the sum of ThreadICnt.
+	TotalDyn int64
+}
+
+// Device is the simulated GPU memory system shared by all CTAs of a launch.
+type Device struct {
+	// Global is byte-addressed global memory (little-endian words).
+	Global []byte
+	// Const is the read-only constant segment.
+	Const []byte
+}
+
+// NewDevice allocates a device with the given global memory size in bytes.
+func NewDevice(globalBytes int) *Device {
+	return &Device{Global: make([]byte, globalBytes)}
+}
+
+// Clone deep-copies the device; injection campaigns run each experiment on a
+// fresh copy of the initial state.
+func (d *Device) Clone() *Device {
+	nd := &Device{Global: make([]byte, len(d.Global))}
+	copy(nd.Global, d.Global)
+	if d.Const != nil {
+		nd.Const = make([]byte, len(d.Const))
+		copy(nd.Const, d.Const)
+	}
+	return nd
+}
+
+// WriteWords stores 32-bit words into global memory at a byte offset.
+func (d *Device) WriteWords(byteOff int, words []uint32) {
+	for i, w := range words {
+		putWord(d.Global, byteOff+4*i, w)
+	}
+}
+
+// ReadWords loads n 32-bit words from global memory at a byte offset.
+func (d *Device) ReadWords(byteOff, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = getWord(d.Global, byteOff+4*i)
+	}
+	return out
+}
+
+func putWord(mem []byte, off int, w uint32) {
+	mem[off] = byte(w)
+	mem[off+1] = byte(w >> 8)
+	mem[off+2] = byte(w >> 16)
+	mem[off+3] = byte(w >> 24)
+}
+
+func getWord(mem []byte, off int) uint32 {
+	return uint32(mem[off]) | uint32(mem[off+1])<<8 |
+		uint32(mem[off+2])<<16 | uint32(mem[off+3])<<24
+}

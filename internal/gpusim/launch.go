@@ -1,0 +1,266 @@
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Execute runs a kernel launch to completion on the device.
+//
+// CTAs run sequentially in launch order (ctaid.z-major, then y, then x-minor)
+// and threads within a CTA are interleaved round-robin at barrier boundaries:
+// each thread runs until it parks at a bar.sync, exits, or traps; a barrier
+// releases once every non-exited thread of the CTA has arrived. This is a
+// functional (not timing) model, but it is deterministic, which the paper's
+// methodology needs: a fault site (thread, dynamic instruction, bit) must
+// denote the same architectural event in every run.
+//
+// Execute returns an error only for malformed launches; abnormal guest
+// terminations (memory faults, hangs, deadlocks) are reported in
+// Result.Trap because they are expected fault-injection outcomes.
+func Execute(dev *Device, launch *Launch) (*Result, error) {
+	if launch.Prog == nil || len(launch.Prog.Instrs) == 0 {
+		return nil, errors.New("gpusim: empty program")
+	}
+	if launch.Grid.Count() <= 0 || launch.Block.Count() <= 0 {
+		return nil, fmt.Errorf("gpusim: bad geometry grid=%v block=%v", launch.Grid, launch.Block)
+	}
+	sharedBytes := launch.SharedBytes
+	if sharedBytes == 0 {
+		sharedBytes = DefaultSharedBytes
+	}
+	if need := ParamBase + 4*len(launch.Params); sharedBytes < need {
+		return nil, fmt.Errorf("gpusim: shared memory %d too small for %d params", sharedBytes, len(launch.Params))
+	}
+	watchdog := launch.Watchdog
+	if watchdog == 0 {
+		watchdog = DefaultWatchdog
+	}
+
+	e := &exec{
+		prog:        launch.Prog,
+		dev:         dev,
+		launch:      launch,
+		block:       launch.Block,
+		grid:        launch.Grid,
+		watchdog:    watchdog,
+		addrFlipBit: -1,
+	}
+
+	nThreads := launch.Grid.Count() * launch.Block.Count()
+	res := &Result{ThreadICnt: make([]int64, nThreads)}
+
+	threadsPerCTA := launch.Block.Count()
+	gx, gy, gz := max(launch.Grid.X, 1), max(launch.Grid.Y, 1), max(launch.Grid.Z, 1)
+	bx, by, bz := max(launch.Block.X, 1), max(launch.Block.Y, 1), max(launch.Block.Z, 1)
+
+	ctaIndex := 0
+	for cz := 0; cz < gz; cz++ {
+		for cy := 0; cy < gy; cy++ {
+			for cx := 0; cx < gx; cx++ {
+				cta := &ctaState{shared: make([]byte, sharedBytes)}
+				for i, p := range launch.Params {
+					putWord(cta.shared, ParamBase+4*i, p)
+				}
+				base := ctaIndex * threadsPerCTA
+				tLinear := 0
+				for tz := 0; tz < bz; tz++ {
+					for ty := 0; ty < by; ty++ {
+						for tx := 0; tx < bx; tx++ {
+							cta.threads = append(cta.threads, &threadState{
+								flat:  base + tLinear,
+								tid:   Dim3{tx, ty, tz},
+								ctaid: Dim3{cx, cy, cz},
+							})
+							tLinear++
+						}
+					}
+				}
+				var trap *Trap
+				if launch.WarpSize > 0 {
+					trap = e.runCTAWarped(cta, launch.WarpSize)
+				} else {
+					trap = e.runCTA(cta)
+				}
+				for _, th := range cta.threads {
+					res.ThreadICnt[th.flat] = th.dynCount
+					res.TotalDyn += th.dynCount
+				}
+				if trap != nil {
+					res.Trap = trap
+					return res, nil
+				}
+				ctaIndex++
+			}
+		}
+	}
+	return res, nil
+}
+
+// barrierStatus summarizes a CTA's barrier state after a scheduling round.
+type barrierStatus uint8
+
+const (
+	ctaRunning  barrierStatus = iota // runnable threads remain
+	ctaFinished                      // every thread exited
+	ctaReleased                      // a barrier completed and was released
+)
+
+// resolveBarrier releases the waiters once every non-exited thread has
+// arrived at the same barrier id, and detects completion and deadlock.
+// progress reports whether the last scheduling round executed anything.
+func resolveBarrier(cta *ctaState, progress bool) (barrierStatus, *Trap) {
+	alive, waitingCnt := 0, 0
+	var barID uint32
+	uniform := true
+	for _, th := range cta.threads {
+		if th.done {
+			continue
+		}
+		alive++
+		if th.waiting {
+			if waitingCnt == 0 {
+				barID = th.barID
+			} else if th.barID != barID {
+				uniform = false
+			}
+			waitingCnt++
+		}
+	}
+	if alive == 0 {
+		return ctaFinished, nil
+	}
+	if waitingCnt == alive {
+		if !uniform {
+			return ctaRunning, &Trap{Kind: TrapDeadlock, Thread: -1, PC: -1,
+				Msg: "threads waiting on different barrier ids"}
+		}
+		for _, th := range cta.threads {
+			th.waiting = false
+		}
+		return ctaReleased, nil
+	}
+	if !progress {
+		if waitingCnt > 0 {
+			// Cannot happen — exited threads reduce alive and runnable
+			// threads always progress — but guard interpreter bugs.
+			return ctaRunning, &Trap{Kind: TrapDeadlock, Thread: -1, PC: -1,
+				Msg: "no runnable threads but barrier unsatisfied"}
+		}
+		return ctaFinished, nil
+	}
+	return ctaRunning, nil
+}
+
+// runCTA interleaves the CTA's threads at barrier boundaries until all exit.
+func (e *exec) runCTA(cta *ctaState) *Trap {
+	for {
+		progress := false
+		for _, th := range cta.threads {
+			if th.done || th.waiting {
+				continue
+			}
+			// Run this thread until it parks, exits, or traps.
+			for !th.done && !th.waiting {
+				blocked, trap := e.step(th, cta)
+				if trap != nil {
+					return trap
+				}
+				if blocked {
+					break
+				}
+			}
+			progress = true
+		}
+		status, trap := resolveBarrier(cta, progress)
+		if trap != nil {
+			return trap
+		}
+		if status == ctaFinished {
+			return nil
+		}
+	}
+}
+
+// runCTAWarped executes the CTA in SIMT lockstep: threads are partitioned
+// into warps of warpSize; each scheduling round issues one instruction to
+// every warp's active subset — the eligible threads sharing the minimal PC.
+// Min-PC selection is a classic reconvergence heuristic: diverged paths
+// serialize, and threads rejoin as soon as they reach the same PC, without
+// an explicit SIMT stack. Per-thread semantics are identical to runCTA.
+func (e *exec) runCTAWarped(cta *ctaState, warpSize int) *Trap {
+	for {
+		progress := false
+		for base := 0; base < len(cta.threads); base += warpSize {
+			end := base + warpSize
+			if end > len(cta.threads) {
+				end = len(cta.threads)
+			}
+			warp := cta.threads[base:end]
+			// Drive this warp until its threads all park or exit.
+			for {
+				minPC := -1
+				for _, th := range warp {
+					if th.done || th.waiting {
+						continue
+					}
+					if minPC < 0 || th.pc < minPC {
+						minPC = th.pc
+					}
+				}
+				if minPC < 0 {
+					break
+				}
+				for _, th := range warp {
+					if th.done || th.waiting || th.pc != minPC {
+						continue
+					}
+					if _, trap := e.step(th, cta); trap != nil {
+						return trap
+					}
+					progress = true
+				}
+			}
+		}
+		status, trap := resolveBarrier(cta, progress)
+		if trap != nil {
+			return trap
+		}
+		if status == ctaFinished {
+			return nil
+		}
+	}
+}
+
+// ProfileTrace is the Tracer used for fault-free profiling runs: it records
+// the static PC sequence of every thread, with the high bit of each entry
+// marking instructions that wrote a live destination register (fault sites).
+// Programs are limited to 32767 static instructions, far beyond any kernel
+// in this repository.
+type ProfileTrace struct {
+	// PCs[t] is thread t's dynamic instruction sequence.
+	PCs [][]uint16
+}
+
+// WroteBit flags a trace entry whose instruction wrote a destination register.
+const WroteBit = 0x8000
+
+// NewProfileTrace allocates a trace for nThreads threads.
+func NewProfileTrace(nThreads int) *ProfileTrace {
+	return &ProfileTrace{PCs: make([][]uint16, nThreads)}
+}
+
+// Record implements Tracer.
+func (p *ProfileTrace) Record(thread, pc int, wrote bool) {
+	v := uint16(pc)
+	if wrote {
+		v |= WroteBit
+	}
+	p.PCs[thread] = append(p.PCs[thread], v)
+}
+
+// PC decodes a trace entry into the static PC.
+func PC(entry uint16) int { return int(entry &^ WroteBit) }
+
+// Wrote decodes a trace entry's destination-write flag.
+func Wrote(entry uint16) bool { return entry&WroteBit != 0 }

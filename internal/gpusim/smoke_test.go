@@ -1,0 +1,66 @@
+package gpusim_test
+
+import (
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/ptx"
+)
+
+// TestVectorAddSmoke drives the whole assemble+execute path: out[i] = a[i]+b[i]
+// with a, b, out laid out contiguously in global memory and base pointers
+// passed as kernel parameters.
+func TestVectorAddSmoke(t *testing.T) {
+	src := `
+		cvt.u32.u16 $r0, %tid.x
+		cvt.u32.u16 $r1, %ctaid.x
+		cvt.u32.u16 $r2, %ntid.x
+		mad.lo.u32 $r0, $r1, $r2, $r0      // global index
+		shl.u32 $r1, $r0, 0x00000002       // byte offset
+		add.u32 $r2, s[0x0010], $r1        // &a[i]
+		add.u32 $r3, s[0x0014], $r1        // &b[i]
+		add.u32 $r4, s[0x0018], $r1        // &out[i]
+		ld.global.u32 $r5, [$r2]
+		ld.global.u32 $r6, [$r3]
+		add.u32 $r7, $r5, $r6
+		st.global.u32 [$r4], $r7
+		exit
+	`
+	prog, err := ptx.Assemble("vecadd", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+
+	const n = 64
+	dev := gpusim.NewDevice(3 * 4 * n)
+	a := make([]uint32, n)
+	b := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		a[i] = uint32(i * 3)
+		b[i] = uint32(1000 - i)
+	}
+	dev.WriteWords(0, a)
+	dev.WriteWords(4*n, b)
+
+	res, err := gpusim.Execute(dev, &gpusim.Launch{
+		Prog:   prog,
+		Grid:   gpusim.Dim3{X: 4, Y: 1, Z: 1},
+		Block:  gpusim.Dim3{X: 16, Y: 1, Z: 1},
+		Params: []uint32{0, 4 * n, 8 * n},
+	})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if res.Trap != nil {
+		t.Fatalf("unexpected trap: %v", res.Trap)
+	}
+	out := dev.ReadWords(8*n, n)
+	for i := 0; i < n; i++ {
+		if want := a[i] + b[i]; out[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	if res.ThreadICnt[0] != 13 {
+		t.Fatalf("iCnt = %d, want 13", res.ThreadICnt[0])
+	}
+}

@@ -1,0 +1,218 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instruction is one static instruction of a kernel program.
+type Instruction struct {
+	// PC is the static index of the instruction within its Program.
+	PC int
+	// Label names this instruction as a branch target ("l0x00000228: ...").
+	Label string
+	// Guard is the optional "@$pN.cc" predication.
+	Guard Guard
+	// Op is the operation.
+	Op Opcode
+	// Cmp is the comparison selector for set/setp ("set.eq.s32.s32").
+	Cmp CmpOp
+	// DType and SType are the destination and source type suffixes. For
+	// single-suffix instructions ("add.u32") SType equals DType.
+	DType, SType DataType
+	// Wide marks mul.wide / mad.wide (16x16->32 multiply).
+	Wide bool
+	// Half marks the ".half" encoding-size modifier (no semantic effect).
+	Half bool
+	// Sat marks ".sat" saturation (accepted; semantics: clamp f32 to [0,1]).
+	Sat bool
+	// Dst is the destination operand (register or memory for st/mov-to-mem).
+	Dst Operand
+	// DstPred is the predicate half of dual destinations:
+	// "set.eq.s32.s32 $p0/$o127, ..." writes flags to DstPred and the
+	// comparison value to Dst ($o127 discards it). "and.b32 $p0|$o127, ..."
+	// likewise. Invalid when unused.
+	DstPred Reg
+	// Srcs are the source operands in order.
+	Srcs []Operand
+	// Target is the label operand of bra/ssy, or the barrier id of bar.
+	Target string
+}
+
+// DestReg returns the register that receives this instruction's result and
+// is therefore the paper's fault-injection target, along with its width in
+// bits. Instructions without a register destination (stores, branches, ...)
+// return ok=false; so do writes whose only destination is the zero register
+// or the $o127 sink, which hold no architectural state.
+//
+// When an instruction has dual destinations ($p0/$o127) the predicate
+// register is the live destination: the value half is discarded by
+// convention in all PTXPlus listings the paper shows.
+func (in *Instruction) DestReg() (r Reg, bits int, ok bool) {
+	if in.DstPred.Valid() {
+		return in.DstPred, PredBits, true
+	}
+	if !in.Op.HasDest() {
+		return Reg{}, 0, false
+	}
+	if in.Dst.Kind == OpdMem {
+		// "mov.u32 s[$ofs3+0x0440], $r2" writes memory, not a register.
+		return Reg{}, 0, false
+	}
+	if in.Dst.Kind != OpdReg {
+		return Reg{}, 0, false
+	}
+	r = in.Dst.Reg
+	if r.Class == RegGPR && (r.Index == ZeroReg || r.Index == SinkReg) {
+		return Reg{}, 0, false
+	}
+	if r.Class == RegPred {
+		return r, PredBits, true
+	}
+	return r, 32, true
+}
+
+// mnemonic assembles the dotted opcode spelling.
+func (in *Instruction) mnemonic() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	if in.Cmp != CmpNone {
+		b.WriteByte('.')
+		b.WriteString(in.Cmp.String())
+	}
+	switch in.Op {
+	case OpLd, OpSt:
+		// Memory ops spell the space: ld.global.u32 / st.shared.u32.
+		space := in.Dst.Space
+		if in.Op == OpLd && len(in.Srcs) > 0 {
+			space = in.Srcs[0].Space
+		}
+		switch space {
+		case SpaceGlobal:
+			b.WriteString(".global")
+		case SpaceShared:
+			b.WriteString(".shared")
+		case SpaceConst:
+			b.WriteString(".const")
+		case SpaceLocal:
+			b.WriteString(".local")
+		}
+	}
+	if in.Wide {
+		b.WriteString(".wide")
+	}
+	if in.Half {
+		b.WriteString(".half")
+	}
+	if in.Sat {
+		b.WriteString(".sat")
+	}
+	if in.DType != TypeNone {
+		b.WriteByte('.')
+		b.WriteString(in.DType.String())
+	}
+	if in.SType != TypeNone && in.SType != in.DType {
+		b.WriteByte('.')
+		b.WriteString(in.SType.String())
+	}
+	return b.String()
+}
+
+// String renders the instruction in assembly syntax (round-trips through the
+// ptx package's parser).
+func (in *Instruction) String() string {
+	var b strings.Builder
+	if in.Label != "" {
+		b.WriteString(in.Label)
+		b.WriteString(": ")
+	}
+	b.WriteString(in.Guard.String())
+	b.WriteString(in.mnemonic())
+
+	var ops []string
+	switch in.Op {
+	case OpBra, OpSsy:
+		ops = append(ops, in.Target)
+	case OpBar:
+		ops = append(ops, fmt.Sprintf("0x%08x", in.Srcs[0].Imm))
+	case OpRet, OpRetp, OpExit, OpNop:
+		// no operands
+	default:
+		if in.Dst.Kind != OpdNone || in.DstPred.Valid() {
+			if in.DstPred.Valid() {
+				sep := "/"
+				if in.Op != OpSet && in.Op != OpSetp {
+					sep = "|"
+				}
+				ops = append(ops, in.DstPred.String()+sep+in.Dst.String())
+			} else {
+				ops = append(ops, in.Dst.String())
+			}
+		}
+		for _, s := range in.Srcs {
+			ops = append(ops, s.String())
+		}
+	}
+	if len(ops) > 0 {
+		b.WriteByte(' ')
+		b.WriteString(strings.Join(ops, ", "))
+	}
+	return b.String()
+}
+
+// Program is an assembled kernel body.
+type Program struct {
+	// Name identifies the kernel ("gemm_kernel").
+	Name string
+	// Instrs are the static instructions; Instrs[i].PC == i.
+	Instrs []Instruction
+	// Labels maps label names to static PCs.
+	Labels map[string]int
+}
+
+// TargetPC resolves a branch label, reporting whether it exists.
+func (p *Program) TargetPC(label string) (int, bool) {
+	pc, ok := p.Labels[label]
+	return pc, ok
+}
+
+// String disassembles the whole program, one instruction per line.
+func (p *Program) String() string {
+	var b strings.Builder
+	for i := range p.Instrs {
+		b.WriteString(p.Instrs[i].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Validate checks structural invariants: PCs are sequential, every branch
+// target resolves, barrier and guard operands are well-formed. The gpusim
+// interpreter relies on these holding.
+func (p *Program) Validate() error {
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.PC != i {
+			return fmt.Errorf("isa: %s: instruction %d has PC %d", p.Name, i, in.PC)
+		}
+		switch in.Op {
+		case OpBra, OpSsy:
+			if _, ok := p.Labels[in.Target]; !ok {
+				return fmt.Errorf("isa: %s: pc %d: undefined label %q", p.Name, i, in.Target)
+			}
+		case OpBar:
+			if len(in.Srcs) != 1 || in.Srcs[0].Kind != OpdImm {
+				return fmt.Errorf("isa: %s: pc %d: bar.sync needs an immediate barrier id", p.Name, i)
+			}
+		}
+		if in.Guard.Active() && in.Guard.Reg.Class != RegPred {
+			return fmt.Errorf("isa: %s: pc %d: guard on non-predicate register %s", p.Name, i, in.Guard.Reg)
+		}
+	}
+	for label, pc := range p.Labels {
+		if pc < 0 || pc >= len(p.Instrs) {
+			return fmt.Errorf("isa: %s: label %q points outside program (pc %d)", p.Name, label, pc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package kernels
+
+import (
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/ptx"
+)
+
+// 2DCONV (Polybench): 3x3 convolution B = conv(A). One thread per output
+// element; threads on the image border exit early, producing the short-iCnt
+// thread classes of the paper's Table III, while interior threads run the
+// full 9-tap stencil (the iCnt=48 class).
+//
+// Parameter block: s[0x10]=&A, s[0x14]=&B, s[0x18]=NI, s[0x1c]=NJ.
+const conv2dSrc = `
+	cvt.u32.u16 $r0, %tid.x
+	cvt.u32.u16 $r1, %ctaid.x
+	cvt.u32.u16 $r2, %ntid.x
+	mad.lo.u32 $r1, $r1, $r2, $r0        // j (column)
+	cvt.u32.u16 $r3, %tid.y
+	cvt.u32.u16 $r4, %ctaid.y
+	cvt.u32.u16 $r5, %ntid.y
+	mad.lo.u32 $r4, $r4, $r5, $r3        // i (row)
+	set.eq.u32.u32 $p0/$o127, $r4, $r124
+	@$p0.ne bra lexit                    // i == 0
+	mov.u32 $r6, s[0x0018]
+	sub.u32 $r6, $r6, 0x00000001
+	set.ge.u32.u32 $p0/$o127, $r4, $r6
+	@$p0.ne bra lexit                    // i >= NI-1
+	set.eq.u32.u32 $p0/$o127, $r1, $r124
+	@$p0.ne bra lexit                    // j == 0
+	mov.u32 $r7, s[0x001c]
+	sub.u32 $r7, $r7, 0x00000001
+	set.ge.u32.u32 $p0/$o127, $r1, $r7
+	@$p0.ne bra lexit                    // j >= NJ-1
+	mov.u32 $r8, s[0x001c]               // NJ
+	mul.lo.u32 $r9, $r4, $r8
+	add.u32 $r9, $r9, $r1                // i*NJ + j
+	shl.u32 $r9, $r9, 0x00000002
+	add.u32 $r10, $r9, s[0x0010]         // &A[i][j]
+	shl.u32 $r11, $r8, 0x00000002        // row stride in bytes
+	sub.u32 $r12, $r10, $r11             // &A[i-1][j]
+	add.u32 $r13, $r10, $r11             // &A[i+1][j]
+	ld.global.f32 $r14, [$r12-0x0004]
+	mul.f32 $r20, $r14, 0f3E4CCCCD       // c11 = +0.2
+	ld.global.f32 $r14, [$r12]
+	mad.f32 $r20, $r14, 0f3F000000, $r20 // c21 = +0.5
+	ld.global.f32 $r14, [$r12+0x0004]
+	mad.f32 $r20, $r14, 0fBF19999A, $r20 // c31 = -0.6
+	ld.global.f32 $r14, [$r10-0x0004]
+	mad.f32 $r20, $r14, 0fBE99999A, $r20 // c12 = -0.3
+	ld.global.f32 $r14, [$r10]
+	mad.f32 $r20, $r14, 0f3F19999A, $r20 // c22 = +0.6
+	ld.global.f32 $r14, [$r10+0x0004]
+	mad.f32 $r20, $r14, 0fBF666666, $r20 // c32 = -0.9
+	ld.global.f32 $r14, [$r13-0x0004]
+	mad.f32 $r20, $r14, 0f3ECCCCCD, $r20 // c13 = +0.4
+	ld.global.f32 $r14, [$r13]
+	mad.f32 $r20, $r14, 0f3F333333, $r20 // c23 = +0.7
+	ld.global.f32 $r14, [$r13+0x0004]
+	mad.f32 $r20, $r14, 0f3F8CCCCD, $r20 // c33 = +1.1
+	add.u32 $r15, $r9, s[0x0014]         // &B[i][j]
+	st.global.f32 [$r15], $r20
+	lexit: exit
+`
+
+var conv2dProg = ptx.MustAssemble("Convolution2D_kernel", conv2dSrc)
+
+func conv2dCoeffs() (c11, c21, c31, c12, c22, c32, c13, c23, c33 float32) {
+	return 0.2, 0.5, -0.6, -0.3, 0.6, -0.9, 0.4, 0.7, 1.1
+}
+
+func buildConv2D(scale Scale) (*Instance, error) {
+	ni, nj := 16, 16
+	block := gpusim.Dim3{X: 8, Y: 8, Z: 1}
+	grid := gpusim.Dim3{X: 2, Y: 2, Z: 1}
+	if scale == ScalePaper {
+		ni, nj = 64, 128
+		block = gpusim.Dim3{X: 16, Y: 16, Z: 1}
+		grid = gpusim.Dim3{X: 8, Y: 4, Z: 1}
+	}
+
+	a := make([]float32, ni*nj)
+	for i := range a {
+		a[i] = synth(0xC0, i)
+	}
+	aBytes, bBytes := 0, 4*ni*nj
+	dev := gpusim.NewDevice(8 * ni * nj)
+	dev.WriteWords(aBytes, wordsF32(a))
+
+	// Reference: float32 ops in the exact order of the kernel's mads.
+	c11, c21, c31, c12, c22, c32, c13, c23, c33 := conv2dCoeffs()
+	b := make([]float32, ni*nj)
+	for i := 1; i < ni-1; i++ {
+		for j := 1; j < nj-1; j++ {
+			acc := a[(i-1)*nj+j-1] * c11
+			acc = a[(i-1)*nj+j]*c21 + acc
+			acc = a[(i-1)*nj+j+1]*c31 + acc
+			acc = a[i*nj+j-1]*c12 + acc
+			acc = a[i*nj+j]*c22 + acc
+			acc = a[i*nj+j+1]*c32 + acc
+			acc = a[(i+1)*nj+j-1]*c13 + acc
+			acc = a[(i+1)*nj+j]*c23 + acc
+			acc = a[(i+1)*nj+j+1]*c33 + acc
+			b[i*nj+j] = acc
+		}
+	}
+
+	meta := conv2dMeta
+	target := buildTarget(meta.Name(), conv2dProg, grid, block,
+		[]uint32{uint32(aBytes), uint32(bBytes), uint32(ni), uint32(nj)},
+		dev, []fault.Range{{Off: bBytes, Len: 4 * ni * nj}}, 0)
+	return &Instance{
+		Meta: meta, Scale: scale, Target: target,
+		WantOutput: bytesOfWords(wordsF32(b)),
+	}, nil
+}
+
+var conv2dMeta = Meta{
+	Suite: "Polybench", App: "2DCONV", Kernel: "Convolution2D_kernel", ID: "K1",
+	PaperThreads: 8192, PaperSites: 6.32e6,
+}

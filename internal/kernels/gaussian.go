@@ -1,0 +1,259 @@
+package kernels
+
+import (
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/ptx"
+)
+
+// Gaussian Elimination (Rodinia). Each elimination step t launches two
+// kernels: Fan1 computes the multiplier column m[row][t] = a[row][t]/a[t][t]
+// for row > t, and Fan2 applies the row updates to a (and the RHS vector b).
+// The paper injects into four dynamic invocations: K1/K2 are the first
+// Fan1/Fan2 pair (t=0) and K125/K126 a late pair (t=62 for N=64, where most
+// threads fail the bounds check and exit early — a very different thread-
+// class mix with the same static code).
+//
+// Fan1 parameters: s[0x10]=&m, s[0x14]=&a, s[0x18]=N, s[0x1c]=t.
+const gaussianFan1Src = `
+	cvt.u32.u16 $r0, %tid.x
+	cvt.u32.u16 $r1, %ctaid.x
+	cvt.u32.u16 $r2, %ntid.x
+	mad.lo.u32 $r0, $r1, $r2, $r0        // gid
+	mov.u32 $r3, s[0x0018]               // N
+	mov.u32 $r4, s[0x001c]               // t
+	sub.u32 $r5, $r3, $r4
+	sub.u32 $r5, $r5, 0x00000001         // N-1-t
+	set.ge.u32.u32 $p0/$o127, $r0, $r5
+	@$p0.ne bra lexit
+	add.u32 $r6, $r0, $r4
+	add.u32 $r6, $r6, 0x00000001         // row = gid+t+1
+	mul.lo.u32 $r7, $r6, $r3
+	add.u32 $r7, $r7, $r4                // row*N + t
+	shl.u32 $r7, $r7, 0x00000002
+	add.u32 $r8, $r7, s[0x0014]          // &a[row][t]
+	ld.global.f32 $r9, [$r8]
+	mul.lo.u32 $r10, $r4, $r3
+	add.u32 $r10, $r10, $r4
+	shl.u32 $r10, $r10, 0x00000002
+	add.u32 $r10, $r10, s[0x0014]        // &a[t][t]
+	ld.global.f32 $r11, [$r10]
+	div.f32 $r9, $r9, $r11
+	add.u32 $r12, $r7, s[0x0010]         // &m[row][t]
+	st.global.f32 [$r12], $r9
+	lexit: exit
+`
+
+// Fan2 parameters: s[0x10]=&m, s[0x14]=&a, s[0x18]=&b, s[0x1c]=N, s[0x20]=t.
+const gaussianFan2Src = `
+	cvt.u32.u16 $r0, %tid.x
+	cvt.u32.u16 $r1, %ctaid.x
+	cvt.u32.u16 $r2, %ntid.x
+	mad.lo.u32 $r0, $r1, $r2, $r0        // gx (column offset)
+	cvt.u32.u16 $r3, %tid.y
+	cvt.u32.u16 $r4, %ctaid.y
+	cvt.u32.u16 $r5, %ntid.y
+	mad.lo.u32 $r3, $r4, $r5, $r3        // gy (row offset)
+	mov.u32 $r6, s[0x001c]               // N
+	mov.u32 $r7, s[0x0020]               // t
+	sub.u32 $r8, $r6, $r7                // N-t
+	sub.u32 $r9, $r8, 0x00000001         // N-1-t
+	set.ge.u32.u32 $p0/$o127, $r3, $r9
+	@$p0.ne bra lexit
+	set.ge.u32.u32 $p0/$o127, $r0, $r8
+	@$p0.ne bra lexit
+	add.u32 $r10, $r3, $r7
+	add.u32 $r10, $r10, 0x00000001       // row = gy+t+1
+	add.u32 $r11, $r0, $r7               // col = gx+t
+	mul.lo.u32 $r12, $r10, $r6
+	add.u32 $r13, $r12, $r7
+	shl.u32 $r13, $r13, 0x00000002
+	add.u32 $r13, $r13, s[0x0010]        // &m[row][t]
+	ld.global.f32 $r14, [$r13]
+	add.u32 $r15, $r12, $r11
+	shl.u32 $r15, $r15, 0x00000002
+	add.u32 $r15, $r15, s[0x0014]        // &a[row][col]
+	mul.lo.u32 $r16, $r7, $r6
+	add.u32 $r16, $r16, $r11
+	shl.u32 $r16, $r16, 0x00000002
+	add.u32 $r16, $r16, s[0x0014]        // &a[t][col]
+	ld.global.f32 $r17, [$r15]
+	ld.global.f32 $r18, [$r16]
+	mul.f32 $r18, $r14, $r18
+	sub.f32 $r17, $r17, $r18
+	st.global.f32 [$r15], $r17
+	set.eq.u32.u32 $p0/$o127, $r0, $r124
+	@$p0.eq bra lexit                    // only gx==0 updates b
+	shl.u32 $r19, $r10, 0x00000002
+	add.u32 $r19, $r19, s[0x0018]        // &b[row]
+	shl.u32 $r20, $r7, 0x00000002
+	add.u32 $r20, $r20, s[0x0018]        // &b[t]
+	ld.global.f32 $r21, [$r19]
+	ld.global.f32 $r22, [$r20]
+	mul.f32 $r22, $r14, $r22
+	sub.f32 $r21, $r21, $r22
+	st.global.f32 [$r19], $r21
+	lexit: exit
+`
+
+var (
+	gaussianFan1Prog = ptx.MustAssemble("Fan1", gaussianFan1Src)
+	gaussianFan2Prog = ptx.MustAssemble("Fan2", gaussianFan2Src)
+)
+
+// gaussianState holds the evolving elimination state on the host.
+type gaussianState struct {
+	n       int
+	a, m, b []float32
+}
+
+// newGaussianState builds a diagonally dominant system so divisions stay
+// well conditioned through all elimination steps.
+func newGaussianState(n int) *gaussianState {
+	s := &gaussianState{
+		n: n,
+		a: make([]float32, n*n),
+		m: make([]float32, n*n),
+		b: make([]float32, n),
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s.a[i*n+j] = synth(0x6A, i*n+j)
+		}
+		s.a[i*n+i] += 8
+		s.b[i] = synth(0x6B, i)
+	}
+	return s
+}
+
+// fan1 applies one Fan1 step on the host in float32, mirroring the kernel.
+func (s *gaussianState) fan1(t int) {
+	for row := t + 1; row < s.n; row++ {
+		s.m[row*s.n+t] = s.a[row*s.n+t] / s.a[t*s.n+t]
+	}
+}
+
+// fan2 applies one Fan2 step on the host in float32, mirroring the kernel.
+func (s *gaussianState) fan2(t int) {
+	for row := t + 1; row < s.n; row++ {
+		mv := s.m[row*s.n+t]
+		for col := t; col < s.n; col++ {
+			s.a[row*s.n+col] -= mv * s.a[t*s.n+col]
+		}
+		s.b[row] -= mv * s.b[t]
+	}
+}
+
+// advance runs full Fan1+Fan2 steps for all t < upTo.
+func (s *gaussianState) advance(upTo int) {
+	for t := 0; t < upTo; t++ {
+		s.fan1(t)
+		s.fan2(t)
+	}
+}
+
+// gaussianGeom returns N and the launch geometries for the two kernels.
+func gaussianGeom(scale Scale) (n int, grid1, block1, grid2, block2 gpusim.Dim3) {
+	if scale == ScalePaper {
+		// Fan1: 512 threads; Fan2: 4096 threads over the 64x64 matrix.
+		return 64,
+			gpusim.Dim3{X: 2, Y: 1, Z: 1}, gpusim.Dim3{X: 256, Y: 1, Z: 1},
+			gpusim.Dim3{X: 4, Y: 4, Z: 1}, gpusim.Dim3{X: 16, Y: 16, Z: 1}
+	}
+	return 16,
+		gpusim.Dim3{X: 2, Y: 1, Z: 1}, gpusim.Dim3{X: 16, Y: 1, Z: 1},
+		gpusim.Dim3{X: 2, Y: 2, Z: 1}, gpusim.Dim3{X: 8, Y: 8, Z: 1}
+}
+
+// lateT is the elimination step used for the late invocations (K125/K126):
+// t = 62 for the paper's N=64 (matching kernel indices 2t+1 = 125), and the
+// analogous N-2 for the small scale.
+func lateT(n int) int { return n - 2 }
+
+func buildGaussianFan1(meta Meta, scale Scale, late bool) (*Instance, error) {
+	n, grid1, block1, _, _ := gaussianGeom(scale)
+	t := 0
+	if late {
+		t = lateT(n)
+	}
+	st := newGaussianState(n)
+	st.advance(t)
+
+	mOff, aOff := 0, 4*n*n
+	dev := gpusim.NewDevice(8*n*n + 4*n)
+	dev.WriteWords(mOff, wordsF32(st.m))
+	dev.WriteWords(aOff, wordsF32(st.a))
+
+	st.fan1(t)
+
+	target := buildTarget(meta.Name(), gaussianFan1Prog, grid1, block1,
+		[]uint32{uint32(mOff), uint32(aOff), uint32(n), uint32(t)},
+		dev, []fault.Range{{Off: mOff, Len: 4 * n * n}}, 0)
+	return &Instance{
+		Meta: meta, Scale: scale, Target: target,
+		WantOutput: bytesOfWords(wordsF32(st.m)),
+	}, nil
+}
+
+func buildGaussianFan2(meta Meta, scale Scale, late bool) (*Instance, error) {
+	n, _, _, grid2, block2 := gaussianGeom(scale)
+	t := 0
+	if late {
+		t = lateT(n)
+	}
+	st := newGaussianState(n)
+	st.advance(t)
+	st.fan1(t) // Fan2 consumes the multipliers of its own step
+
+	mOff, aOff, bOff := 0, 4*n*n, 8*n*n
+	dev := gpusim.NewDevice(8*n*n + 4*n)
+	dev.WriteWords(mOff, wordsF32(st.m))
+	dev.WriteWords(aOff, wordsF32(st.a))
+	dev.WriteWords(bOff, wordsF32(st.b))
+
+	st.fan2(t)
+
+	want := append(append([]float32(nil), st.a...), st.b...)
+	target := buildTarget(meta.Name(), gaussianFan2Prog, grid2, block2,
+		[]uint32{uint32(mOff), uint32(aOff), uint32(bOff), uint32(n), uint32(t)},
+		dev, []fault.Range{
+			{Off: aOff, Len: 4 * n * n},
+			{Off: bOff, Len: 4 * n},
+		}, 0)
+	return &Instance{
+		Meta: meta, Scale: scale, Target: target,
+		WantOutput: bytesOfWords(wordsF32(want)),
+	}, nil
+}
+
+func buildGaussianFan1Early(scale Scale) (*Instance, error) {
+	return buildGaussianFan1(gaussianK1Meta, scale, false)
+}
+func buildGaussianFan2Early(scale Scale) (*Instance, error) {
+	return buildGaussianFan2(gaussianK2Meta, scale, false)
+}
+func buildGaussianFan1Late(scale Scale) (*Instance, error) {
+	return buildGaussianFan1(gaussianK125Meta, scale, true)
+}
+func buildGaussianFan2Late(scale Scale) (*Instance, error) {
+	return buildGaussianFan2(gaussianK126Meta, scale, true)
+}
+
+var (
+	gaussianK1Meta = Meta{
+		Suite: "Rodinia", App: "Gaussian", Kernel: "Fan1", ID: "K1",
+		PaperThreads: 512, PaperSites: 1.63e5,
+	}
+	gaussianK2Meta = Meta{
+		Suite: "Rodinia", App: "Gaussian", Kernel: "Fan2", ID: "K2",
+		PaperThreads: 4096, PaperSites: 4.92e6,
+	}
+	gaussianK125Meta = Meta{
+		Suite: "Rodinia", App: "Gaussian", Kernel: "Fan1", ID: "K125",
+		PaperThreads: 512, PaperSites: 1.09e5,
+	}
+	gaussianK126Meta = Meta{
+		Suite: "Rodinia", App: "Gaussian", Kernel: "Fan2", ID: "K126",
+		PaperThreads: 4096, PaperSites: 8.79e5,
+	}
+)

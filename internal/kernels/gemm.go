@@ -1,0 +1,117 @@
+package kernels
+
+import (
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/ptx"
+)
+
+// GEMM (Polybench): C = alpha*A*B + beta*C. One thread per C element with an
+// NK-iteration dot-product loop (the paper's Table VII: 128 iterations,
+// 98.21% of instructions in the loop). After thread-wise pruning this kernel
+// collapses to a single representative thread (all threads share one iCnt),
+// which is why the paper places it in Fig. 10(c).
+//
+// Parameters: s[0x10]=&A, s[0x14]=&B, s[0x18]=&C,
+// s[0x1c]=NI, s[0x20]=NJ, s[0x24]=NK. alpha=1.5, beta=1.2.
+const gemmSrc = `
+	cvt.u32.u16 $r0, %tid.x
+	cvt.u32.u16 $r1, %ctaid.x
+	cvt.u32.u16 $r2, %ntid.x
+	mad.lo.u32 $r0, $r1, $r2, $r0        // j (column)
+	cvt.u32.u16 $r3, %tid.y
+	cvt.u32.u16 $r4, %ctaid.y
+	cvt.u32.u16 $r5, %ntid.y
+	mad.lo.u32 $r3, $r4, $r5, $r3        // i (row)
+	mov.u32 $r4, s[0x001c]               // NI
+	set.ge.u32.u32 $p0/$o127, $r3, $r4
+	@$p0.ne bra lexit
+	mov.u32 $r5, s[0x0020]               // NJ
+	set.ge.u32.u32 $p0/$o127, $r0, $r5
+	@$p0.ne bra lexit
+	mov.u32 $r6, s[0x0024]               // NK
+	mul.lo.u32 $r7, $r3, $r6
+	shl.u32 $r7, $r7, 0x00000002
+	add.u32 $r7, $r7, s[0x0010]          // &A[i][0]
+	shl.u32 $r8, $r0, 0x00000002
+	add.u32 $r8, $r8, s[0x0014]          // &B[0][j]
+	shl.u32 $r9, $r5, 0x00000002         // B row stride
+	mov.u32 $r10, $r124                  // acc = 0.0
+	mov.u32 $r11, $r124                  // k = 0
+	lloop: ld.global.f32 $r12, [$r7]
+	ld.global.f32 $r13, [$r8]
+	mad.f32 $r10, $r12, $r13, $r10
+	add.u32 $r7, $r7, 0x00000004
+	add.u32 $r8, $r8, $r9
+	add.u32 $r11, $r11, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r11, $r6
+	@$p0.ne bra lloop
+	mul.lo.u32 $r14, $r3, $r5
+	add.u32 $r14, $r14, $r0
+	shl.u32 $r14, $r14, 0x00000002
+	add.u32 $r14, $r14, s[0x0018]        // &C[i][j]
+	ld.global.f32 $r15, [$r14]
+	mul.f32 $r10, $r10, 0f3FC00000       // alpha = 1.5
+	mul.f32 $r15, $r15, 0f3F99999A       // beta = 1.2
+	add.f32 $r10, $r10, $r15
+	st.global.f32 [$r14], $r10
+	lexit: exit
+`
+
+var gemmProg = ptx.MustAssemble("gemm_kernel", gemmSrc)
+
+func buildGEMM(scale Scale) (*Instance, error) {
+	ni, nj, nk := 16, 16, 16
+	block := gpusim.Dim3{X: 8, Y: 8, Z: 1}
+	grid := gpusim.Dim3{X: 2, Y: 2, Z: 1}
+	if scale == ScalePaper {
+		ni, nj, nk = 128, 128, 128
+		block = gpusim.Dim3{X: 16, Y: 16, Z: 1}
+		grid = gpusim.Dim3{X: 8, Y: 8, Z: 1}
+	}
+	const alpha, beta = float32(1.5), float32(1.2)
+
+	a := make([]float32, ni*nk)
+	b := make([]float32, nk*nj)
+	c := make([]float32, ni*nj)
+	for i := range a {
+		a[i] = synth(0xB1, i)
+	}
+	for i := range b {
+		b[i] = synth(0xB2, i)
+	}
+	for i := range c {
+		c[i] = synth(0xB3, i)
+	}
+
+	aOff, bOff, cOff := 0, 4*ni*nk, 4*ni*nk+4*nk*nj
+	dev := gpusim.NewDevice(cOff + 4*ni*nj)
+	dev.WriteWords(aOff, wordsF32(a))
+	dev.WriteWords(bOff, wordsF32(b))
+	dev.WriteWords(cOff, wordsF32(c))
+
+	want := make([]float32, ni*nj)
+	for i := 0; i < ni; i++ {
+		for j := 0; j < nj; j++ {
+			var acc float32
+			for k := 0; k < nk; k++ {
+				acc = a[i*nk+k]*b[k*nj+j] + acc
+			}
+			want[i*nj+j] = acc*alpha + c[i*nj+j]*beta
+		}
+	}
+
+	target := buildTarget(gemmMeta.Name(), gemmProg, grid, block,
+		[]uint32{uint32(aOff), uint32(bOff), uint32(cOff),
+			uint32(ni), uint32(nj), uint32(nk)},
+		dev, []fault.Range{{Off: cOff, Len: 4 * ni * nj}}, 0)
+	return &Instance{
+		Meta: gemmMeta, Scale: scale, Target: target,
+		WantOutput: bytesOfWords(wordsF32(want)),
+	}, nil
+}
+
+var gemmMeta = Meta{
+	Suite: "Polybench", App: "GEMM", Kernel: "gemm_kernel", ID: "K1",
+	PaperThreads: 16384, PaperSites: 6.23e8, HasLoops: true,
+}

@@ -1,0 +1,199 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/ptx"
+)
+
+// HotSpot (Rodinia) calculate_temp: thermal stencil with the pyramid
+// optimization. Each CTA stages its temperature/power tile in shared memory
+// and runs two block-local Jacobi steps with a shrinking valid region;
+// threads on the chip border keep their temperature, and tile-halo threads
+// keep stale values — exactly the kind of position-dependent control flow
+// that gives the paper's Table IV its ten CTA groups and wide iCnt range.
+// The two steps are statically unrolled (Rodinia uses #pragma unroll), which
+// is why Table VII reports zero loop iterations for HotSpot.
+//
+// Parameters: s[0x10]=&temp, s[0x14]=&power, s[0x18]=&out, s[0x1c]=N.
+// Shared layout: tile temperatures at 0x40, tile power at 0x440.
+const hotspotPrologSrc = `
+	cvt.u32.u16 $r0, %tid.x              // lx
+	cvt.u32.u16 $r1, %tid.y              // ly
+	cvt.u32.u16 $r2, %ntid.x             // bw
+	cvt.u32.u16 $r3, %ctaid.x
+	mad.lo.u32 $r3, $r3, $r2, $r0        // gx
+	cvt.u32.u16 $r4, %ctaid.y
+	cvt.u32.u16 $r5, %ntid.y
+	mad.lo.u32 $r4, $r4, $r5, $r1        // gy
+	mov.u32 $r5, s[0x001c]               // N
+	mul.lo.u32 $r6, $r1, $r2
+	add.u32 $r6, $r6, $r0
+	shl.u32 $r6, $r6, 0x00000002         // local index (bytes)
+	mul.lo.u32 $r7, $r4, $r5
+	add.u32 $r7, $r7, $r3
+	shl.u32 $r7, $r7, 0x00000002         // global index (bytes)
+	shl.u32 $r12, $r2, 0x00000002        // tile row stride (bytes)
+	add.u32 $r8, $r7, s[0x0010]
+	ld.global.f32 $r9, [$r8]
+	st.shared.f32 s[$r6+0x0040], $r9     // stage temperature
+	add.u32 $r8, $r7, s[0x0014]
+	ld.global.f32 $r9, [$r8]
+	st.shared.f32 s[$r6+0x0440], $r9     // stage power
+	bar.sync 0x00000000
+`
+
+const hotspotEpilogSrc = `
+	ld.shared.f32 $r10, s[$r6+0x0040]
+	add.u32 $r8, $r7, s[0x0018]
+	st.global.f32 [$r8], $r10
+	exit
+`
+
+// hotspotStep emits one unrolled pyramid step: valid-region low bound 1+it,
+// high bound bw-(2+it).
+func hotspotStep(it int) string {
+	return fmt.Sprintf(`
+	set.eq.u32.u32 $p0/$o127, $r4, $r124
+	@$p0.ne bra lkeep%[1]d
+	sub.u32 $r8, $r5, 0x00000001
+	set.eq.u32.u32 $p0/$o127, $r4, $r8
+	@$p0.ne bra lkeep%[1]d
+	set.eq.u32.u32 $p0/$o127, $r3, $r124
+	@$p0.ne bra lkeep%[1]d
+	set.eq.u32.u32 $p0/$o127, $r3, $r8
+	@$p0.ne bra lkeep%[1]d
+	set.lt.u32.u32 $p0/$o127, $r0, 0x%08[2]x
+	@$p0.ne bra lkeep%[1]d
+	sub.u32 $r9, $r2, 0x%08[3]x
+	set.gt.u32.u32 $p0/$o127, $r0, $r9
+	@$p0.ne bra lkeep%[1]d
+	set.lt.u32.u32 $p0/$o127, $r1, 0x%08[2]x
+	@$p0.ne bra lkeep%[1]d
+	set.gt.u32.u32 $p0/$o127, $r1, $r9
+	@$p0.ne bra lkeep%[1]d
+	ld.shared.f32 $r10, s[$r6+0x0040]
+	sub.u32 $r13, $r6, $r12
+	ld.shared.f32 $r11, s[$r13+0x0040]   // north
+	add.u32 $r13, $r6, $r12
+	ld.shared.f32 $r14, s[$r13+0x0040]   // south
+	ld.shared.f32 $r15, s[$r6+0x003c]    // west
+	ld.shared.f32 $r16, s[$r6+0x0044]    // east
+	ld.shared.f32 $r17, s[$r6+0x0440]    // power
+	add.f32 $r18, $r11, $r14
+	mul.f32 $r19, $r10, 0f40000000
+	sub.f32 $r18, $r18, $r19
+	mul.f32 $r18, $r18, 0f3F000000       // vertical coupling 0.5
+	add.f32 $r20, $r15, $r16
+	sub.f32 $r20, $r20, $r19
+	mul.f32 $r20, $r20, 0f3E99999A       // horizontal coupling 0.3
+	add.f32 $r21, $r17, $r18
+	add.f32 $r21, $r21, $r20
+	mad.f32 $r10, $r21, 0f3DCCCCCD, $r10 // dt 0.1
+	bra lwrite%[1]d
+	lkeep%[1]d: ld.shared.f32 $r10, s[$r6+0x0040]
+	lwrite%[1]d: bar.sync 0x00000000
+	st.shared.f32 s[$r6+0x0040], $r10
+	bar.sync 0x00000000
+`, it, 1+it, 2+it)
+}
+
+var hotspotProg = ptx.MustAssemble("calculate_temp",
+	hotspotPrologSrc+hotspotStep(0)+hotspotStep(1)+hotspotEpilogSrc)
+
+// hotspotRef replicates the kernel on the host in float32, CTA by CTA.
+func hotspotRef(temp, power []float32, n, bw, bh int) []float32 {
+	out := make([]float32, n*n)
+	const (
+		c2   = float32(2.0)
+		cv   = float32(0.5)
+		ch   = float32(0.3)
+		cdt  = float32(0.1)
+		step = 2
+	)
+	for cy := 0; cy < n/bh; cy++ {
+		for cx := 0; cx < n/bw; cx++ {
+			tile := make([]float32, bw*bh)
+			ptile := make([]float32, bw*bh)
+			for ly := 0; ly < bh; ly++ {
+				for lx := 0; lx < bw; lx++ {
+					g := (cy*bh+ly)*n + cx*bw + lx
+					tile[ly*bw+lx] = temp[g]
+					ptile[ly*bw+lx] = power[g]
+				}
+			}
+			for it := 0; it < step; it++ {
+				lo, hi := 1+it, bw-(2+it)
+				next := make([]float32, bw*bh)
+				copy(next, tile)
+				for ly := 0; ly < bh; ly++ {
+					for lx := 0; lx < bw; lx++ {
+						gx, gy := cx*bw+lx, cy*bh+ly
+						if gy == 0 || gy == n-1 || gx == 0 || gx == n-1 {
+							continue
+						}
+						if lx < lo || lx > hi || ly < lo || ly > hi {
+							continue
+						}
+						l := ly*bw + lx
+						t := tile[l]
+						two := t * c2
+						v1 := (tile[l-bw] + tile[l+bw]) - two
+						v1 = v1 * cv
+						v2 := (tile[l-1] + tile[l+1]) - two
+						v2 = v2 * ch
+						s := ptile[l] + v1
+						s = s + v2
+						next[l] = s*cdt + t
+					}
+				}
+				tile = next
+			}
+			for ly := 0; ly < bh; ly++ {
+				for lx := 0; lx < bw; lx++ {
+					out[(cy*bh+ly)*n+cx*bw+lx] = tile[ly*bw+lx]
+				}
+			}
+		}
+	}
+	return out
+}
+
+func buildHotSpot(scale Scale) (*Instance, error) {
+	n, bw, bh := 24, 8, 8
+	grid := gpusim.Dim3{X: 3, Y: 3, Z: 1}
+	if scale == ScalePaper {
+		n, bw, bh = 96, 16, 16
+		grid = gpusim.Dim3{X: 6, Y: 6, Z: 1}
+	}
+	block := gpusim.Dim3{X: bw, Y: bh, Z: 1}
+
+	temp := make([]float32, n*n)
+	power := make([]float32, n*n)
+	for i := range temp {
+		temp[i] = 60 + synth(0x75, i) // ambient-ish temperatures
+		power[i] = synthPos(0x76, i) * 0.25
+	}
+
+	tOff, pOff, oOff := 0, 4*n*n, 8*n*n
+	dev := gpusim.NewDevice(12 * n * n)
+	dev.WriteWords(tOff, wordsF32(temp))
+	dev.WriteWords(pOff, wordsF32(power))
+
+	want := hotspotRef(temp, power, n, bw, bh)
+
+	target := buildTarget(hotspotMeta.Name(), hotspotProg, grid, block,
+		[]uint32{uint32(tOff), uint32(pOff), uint32(oOff), uint32(n)},
+		dev, []fault.Range{{Off: oOff, Len: 4 * n * n}}, 0)
+	return &Instance{
+		Meta: hotspotMeta, Scale: scale, Target: target,
+		WantOutput: bytesOfWords(wordsF32(want)),
+	}, nil
+}
+
+var hotspotMeta = Meta{
+	Suite: "Rodinia", App: "HotSpot", Kernel: "calculate_temp", ID: "K1",
+	PaperThreads: 9216, PaperSites: 3.44e7,
+}

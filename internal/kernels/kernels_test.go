@@ -1,0 +1,74 @@
+package kernels
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestKernelCorrectnessSmall validates every kernel at the small scale: the
+// simulated golden output must match the host Go reference bit-for-bit.
+func TestKernelCorrectnessSmall(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Meta.Name(), func(t *testing.T) {
+			inst, err := spec.Build(ScaleSmall)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if err := inst.Target.Prepare(); err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			got := inst.Target.Golden()
+			if len(got) != len(inst.WantOutput) {
+				t.Fatalf("output length %d, want %d", len(got), len(inst.WantOutput))
+			}
+			if !bytes.Equal(got, inst.WantOutput) {
+				for i := range got {
+					if got[i] != inst.WantOutput[i] {
+						t.Fatalf("output differs first at byte %d (word %d): got %#x want %#x",
+							i, i/4, got[i], inst.WantOutput[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryComplete checks the paper's workload inventory: 17 kernels,
+// 16 of them with Table I fault-site references.
+func TestRegistryComplete(t *testing.T) {
+	if got := len(All()); got != 17 {
+		t.Fatalf("registry has %d kernels, want 17", got)
+	}
+	if got := len(TableIKernels()); got != 16 {
+		t.Fatalf("Table I set has %d kernels, want 16", got)
+	}
+	seen := make(map[string]bool)
+	for _, s := range All() {
+		name := s.Meta.Name()
+		if seen[name] {
+			t.Fatalf("duplicate kernel name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestPaperThreadCounts verifies that the paper-scale geometry spawns
+// exactly the thread counts of the paper's tables.
+func TestPaperThreadCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale builds in short mode")
+	}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Meta.Name(), func(t *testing.T) {
+			inst, err := spec.Build(ScalePaper)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if got := inst.Target.Threads(); got != spec.Meta.PaperThreads {
+				t.Fatalf("threads = %d, want %d", got, spec.Meta.PaperThreads)
+			}
+		})
+	}
+}

@@ -1,0 +1,197 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/ptx"
+)
+
+// K-Means K1 (Rodinia) invert_mapping: transposes the point-major feature
+// matrix into feature-major layout. One thread per point, one loop over the
+// features (the paper's Table VII: 34 iterations, 82.42% in loop).
+//
+// Parameters: s[0x10]=&input, s[0x14]=&output, s[0x18]=npoints,
+// s[0x1c]=nfeatures.
+const kmeans1Src = `
+	cvt.u32.u16 $r0, %tid.x
+	cvt.u32.u16 $r1, %ctaid.x
+	cvt.u32.u16 $r2, %ntid.x
+	mad.lo.u32 $r0, $r1, $r2, $r0        // point index
+	mov.u32 $r3, s[0x0018]               // npoints
+	set.ge.u32.u32 $p0/$o127, $r0, $r3
+	@$p0.ne bra lexit
+	mov.u32 $r4, s[0x001c]               // nfeatures
+	mul.lo.u32 $r5, $r0, $r4
+	shl.u32 $r5, $r5, 0x00000002
+	add.u32 $r5, $r5, s[0x0010]          // &in[i][0]
+	shl.u32 $r6, $r0, 0x00000002
+	add.u32 $r6, $r6, s[0x0014]          // &out[0][i]
+	shl.u32 $r7, $r3, 0x00000002         // output feature stride
+	mov.u32 $r8, $r124                   // f = 0
+	lloop: ld.global.f32 $r9, [$r5]
+	st.global.f32 [$r6], $r9
+	add.u32 $r5, $r5, 0x00000004
+	add.u32 $r6, $r6, $r7
+	add.u32 $r8, $r8, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r8, $r4
+	@$p0.ne bra lloop
+	lexit: exit
+`
+
+// K-Means K2 (Rodinia) kmeansPoint: assigns each point to the nearest
+// cluster centre. Nested loops — clusters outside, features inside — give
+// the paper's 170 (= 5 clusters x 34 features) loop iterations.
+//
+// Parameters: s[0x10]=&feature (feature-major), s[0x14]=&clusters,
+// s[0x18]=&membership, s[0x1c]=npoints, s[0x20]=nclusters, s[0x24]=nfeatures.
+const kmeans2Src = `
+	cvt.u32.u16 $r0, %tid.x
+	cvt.u32.u16 $r1, %ctaid.x
+	cvt.u32.u16 $r2, %ntid.x
+	mad.lo.u32 $r0, $r1, $r2, $r0        // point index
+	mov.u32 $r3, s[0x001c]               // npoints
+	set.ge.u32.u32 $p0/$o127, $r0, $r3
+	@$p0.ne bra lexit
+	shl.u32 $r4, $r3, 0x00000002         // feature stride
+	shl.u32 $r5, $r0, 0x00000002
+	add.u32 $r5, $r5, s[0x0010]          // &feature[0][i]
+	mov.u32 $r6, s[0x0014]               // cluster cursor
+	mov.u32 $r7, 0x7f800000              // bestDist = +inf
+	mov.u32 $r8, $r124                   // bestIdx = 0
+	mov.u32 $r9, $r124                   // c = 0
+	louter: mov.u32 $r10, $r124          // dist = 0
+	mov.u32 $r11, $r124                  // f = 0
+	mov.u32 $r12, $r5                    // feature cursor
+	linner: ld.global.f32 $r13, [$r12]
+	ld.global.f32 $r14, [$r6]
+	sub.f32 $r13, $r13, $r14
+	mad.f32 $r10, $r13, $r13, $r10
+	add.u32 $r12, $r12, $r4
+	add.u32 $r6, $r6, 0x00000004
+	add.u32 $r11, $r11, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r11, s[0x0024]
+	@$p0.ne bra linner
+	set.lt.f32.f32 $p0/$o127, $r10, $r7
+	@$p0.eq bra lskip
+	mov.u32 $r7, $r10                    // bestDist = dist
+	mov.u32 $r8, $r9                     // bestIdx = c
+	lskip: add.u32 $r9, $r9, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r9, s[0x0020]
+	@$p0.ne bra louter
+	shl.u32 $r15, $r0, 0x00000002
+	add.u32 $r15, $r15, s[0x0018]
+	st.global.u32 [$r15], $r8
+	lexit: exit
+`
+
+var (
+	kmeans1Prog = ptx.MustAssemble("invert_mapping", kmeans1Src)
+	kmeans2Prog = ptx.MustAssemble("kmeansPoint", kmeans2Src)
+)
+
+// kmeansDims returns the scale-dependent problem dimensions shared by both
+// kernels.
+func kmeansDims(scale Scale) (npoints, nfeatures, nclusters int, grid, block gpusim.Dim3) {
+	if scale == ScalePaper {
+		return 2304, 34, 5,
+			gpusim.Dim3{X: 9, Y: 1, Z: 1}, gpusim.Dim3{X: 256, Y: 1, Z: 1}
+	}
+	return 128, 17, 4,
+		gpusim.Dim3{X: 4, Y: 1, Z: 1}, gpusim.Dim3{X: 32, Y: 1, Z: 1}
+}
+
+func kmeansInput(npoints, nfeatures int) []float32 {
+	in := make([]float32, npoints*nfeatures)
+	for i := range in {
+		in[i] = synth(0x4B, i)
+	}
+	return in
+}
+
+func buildKMeans1(scale Scale) (*Instance, error) {
+	npoints, nfeatures, _, grid, block := kmeansDims(scale)
+	in := kmeansInput(npoints, nfeatures)
+
+	inOff, outOff := 0, 4*npoints*nfeatures
+	dev := gpusim.NewDevice(8 * npoints * nfeatures)
+	dev.WriteWords(inOff, wordsF32(in))
+
+	want := make([]float32, npoints*nfeatures)
+	for i := 0; i < npoints; i++ {
+		for f := 0; f < nfeatures; f++ {
+			want[f*npoints+i] = in[i*nfeatures+f]
+		}
+	}
+
+	target := buildTarget(kmeans1Meta.Name(), kmeans1Prog, grid, block,
+		[]uint32{uint32(inOff), uint32(outOff), uint32(npoints), uint32(nfeatures)},
+		dev, []fault.Range{{Off: outOff, Len: 4 * npoints * nfeatures}}, 0)
+	return &Instance{
+		Meta: kmeans1Meta, Scale: scale, Target: target,
+		WantOutput: bytesOfWords(wordsF32(want)),
+	}, nil
+}
+
+func buildKMeans2(scale Scale) (*Instance, error) {
+	npoints, nfeatures, nclusters, grid, block := kmeansDims(scale)
+
+	// Feature matrix in feature-major layout (the output of K1).
+	in := kmeansInput(npoints, nfeatures)
+	feat := make([]float32, npoints*nfeatures)
+	for i := 0; i < npoints; i++ {
+		for f := 0; f < nfeatures; f++ {
+			feat[f*npoints+i] = in[i*nfeatures+f]
+		}
+	}
+	clusters := make([]float32, nclusters*nfeatures)
+	for i := range clusters {
+		clusters[i] = synth(0x4C, i)
+	}
+
+	featOff := 0
+	clustOff := 4 * npoints * nfeatures
+	membOff := clustOff + 4*nclusters*nfeatures
+	dev := gpusim.NewDevice(membOff + 4*npoints)
+	dev.WriteWords(featOff, wordsF32(feat))
+	dev.WriteWords(clustOff, wordsF32(clusters))
+
+	want := make([]uint32, npoints)
+	for i := 0; i < npoints; i++ {
+		best := uint32(0)
+		bestDist := float32(math.Inf(1))
+		for c := 0; c < nclusters; c++ {
+			var dist float32
+			for f := 0; f < nfeatures; f++ {
+				d := feat[f*npoints+i] - clusters[c*nfeatures+f]
+				dist = d*d + dist
+			}
+			if dist < bestDist {
+				bestDist = dist
+				best = uint32(c)
+			}
+		}
+		want[i] = best
+	}
+
+	target := buildTarget(kmeans2Meta.Name(), kmeans2Prog, grid, block,
+		[]uint32{uint32(featOff), uint32(clustOff), uint32(membOff),
+			uint32(npoints), uint32(nclusters), uint32(nfeatures)},
+		dev, []fault.Range{{Off: membOff, Len: 4 * npoints}}, 0)
+	return &Instance{
+		Meta: kmeans2Meta, Scale: scale, Target: target,
+		WantOutput: bytesOfWords(want),
+	}, nil
+}
+
+var (
+	kmeans1Meta = Meta{
+		Suite: "Rodinia", App: "K-Means", Kernel: "invert_mapping", ID: "K1",
+		PaperThreads: 2304, PaperSites: 1.47e7, HasLoops: true,
+	}
+	kmeans2Meta = Meta{
+		Suite: "Rodinia", App: "K-Means", Kernel: "kmeansPoint", ID: "K2",
+		PaperThreads: 2304, PaperSites: 9.67e7, HasLoops: true,
+	}
+)

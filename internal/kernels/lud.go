@@ -1,0 +1,345 @@
+package kernels
+
+import (
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/isa"
+	"repro/internal/ptx"
+)
+
+// LU Decomposition (Rodinia), blocked with block size 16 on a 32x32 matrix —
+// the geometry that yields the paper's thread counts: lud_diagonal 16
+// threads, lud_perimeter 32, lud_internal 256. The three instances capture
+// consecutive pipeline stages: the diagonal kernel factorizes the top-left
+// block, the perimeter kernel solves the row/column panels against it, and
+// the internal kernel applies the rank-16 update to the trailing block.
+// Diagonal and perimeter have triangular nested loops (Table VII: 120
+// iterations each); internal is fully unrolled (0 iterations), as in the
+// Rodinia source.
+//
+// Parameters (all three): s[0x10]=&a, s[0x14]=N, s[0x18]=offset.
+const ludBS = 16
+
+const ludDiagonalSrc = `
+	cvt.u32.u16 $r0, %tid.x              // tx
+	mov.u32 $r15, s[0x0014]              // N
+	mov.u32 $r14, s[0x0018]              // off
+	add.u32 $r4, $r14, $r0
+	mul.lo.u32 $r4, $r4, $r15
+	add.u32 $r4, $r4, $r14
+	shl.u32 $r4, $r4, 0x00000002
+	add.u32 $r4, $r4, s[0x0010]          // &a[off+tx][off]
+	mov.u32 $r3, $r124                   // k = 0
+	louter: bar.sync 0x00000000
+	set.gt.u32.u32 $p0/$o127, $r0, $r3
+	@$p0.eq bra lnext                    // threads tx <= k idle this round
+	shl.u32 $r5, $r3, 0x00000002
+	add.u32 $r6, $r4, $r5                // &a[tx][k]
+	add.u32 $r8, $r14, $r3
+	mul.lo.u32 $r8, $r8, $r15
+	add.u32 $r8, $r8, $r14
+	shl.u32 $r8, $r8, 0x00000002
+	add.u32 $r8, $r8, s[0x0010]          // pivot row base &a[k][off]
+	add.u32 $r9, $r8, $r5                // &a[k][k]
+	ld.global.f32 $r10, [$r6]
+	ld.global.f32 $r11, [$r9]
+	div.f32 $r10, $r10, $r11
+	st.global.f32 [$r6], $r10            // L[tx][k]
+	add.u32 $r12, $r3, 0x00000001        // j = k+1
+	linner: shl.u32 $r13, $r12, 0x00000002
+	add.u32 $r16, $r4, $r13              // &a[tx][j]
+	add.u32 $r17, $r8, $r13              // &a[k][j]
+	ld.global.f32 $r18, [$r16]
+	ld.global.f32 $r19, [$r17]
+	mul.f32 $r19, $r10, $r19
+	sub.f32 $r18, $r18, $r19
+	st.global.f32 [$r16], $r18
+	add.u32 $r12, $r12, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r12, 0x00000010
+	@$p0.ne bra linner
+	lnext: add.u32 $r3, $r3, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r3, 0x0000000f
+	@$p0.ne bra louter
+	exit
+`
+
+const ludPerimeterSrc = `
+	cvt.u32.u16 $r0, %tid.x
+	mov.u32 $r15, s[0x0014]              // N
+	mov.u32 $r14, s[0x0018]              // off
+	set.ge.u32.u32 $p0/$o127, $r0, 0x00000010
+	@$p0.ne bra lcol
+	// Row panel: thread tx owns column off+16+tx of A12.
+	add.u32 $r4, $r14, 0x00000010
+	add.u32 $r4, $r4, $r0                // absolute column
+	mul.lo.u32 $r5, $r14, $r15
+	add.u32 $r5, $r5, $r4
+	shl.u32 $r5, $r5, 0x00000002
+	add.u32 $r5, $r5, s[0x0010]          // &a[off][col]
+	shl.u32 $r6, $r15, 0x00000002        // row stride
+	mov.u32 $r3, $r124                   // k = 0
+	lrowk: mul.lo.u32 $r7, $r3, $r6
+	add.u32 $r7, $r7, $r5
+	ld.global.f32 $r8, [$r7]             // a[k][col]
+	add.u32 $r11, $r3, 0x00000001        // i = k+1
+	lrowi: add.u32 $r12, $r14, $r11
+	mul.lo.u32 $r12, $r12, $r15
+	add.u32 $r13, $r14, $r3
+	add.u32 $r12, $r12, $r13
+	shl.u32 $r12, $r12, 0x00000002
+	add.u32 $r12, $r12, s[0x0010]        // &L[i][k]
+	ld.global.f32 $r16, [$r12]
+	mul.lo.u32 $r17, $r11, $r6
+	add.u32 $r17, $r17, $r5              // &a[i][col]
+	ld.global.f32 $r18, [$r17]
+	mul.f32 $r19, $r16, $r8
+	sub.f32 $r18, $r18, $r19
+	st.global.f32 [$r17], $r18
+	add.u32 $r11, $r11, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r11, 0x00000010
+	@$p0.ne bra lrowi
+	add.u32 $r3, $r3, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r3, 0x0000000f
+	@$p0.ne bra lrowk
+	bra lexit
+	// Column panel: thread tx-16 owns row off+16+(tx-16) of A21.
+	lcol: sub.u32 $r4, $r0, 0x00000010
+	add.u32 $r5, $r14, 0x00000010
+	add.u32 $r5, $r5, $r4                // absolute row
+	mul.lo.u32 $r5, $r5, $r15
+	add.u32 $r5, $r5, $r14
+	shl.u32 $r5, $r5, 0x00000002
+	add.u32 $r5, $r5, s[0x0010]          // &a[row][off]
+	mov.u32 $r3, $r124                   // k = 0
+	lcolk: shl.u32 $r7, $r3, 0x00000002
+	add.u32 $r7, $r7, $r5                // &x[row][k]
+	ld.global.f32 $r8, [$r7]             // val
+	mov.u32 $r9, $r124                   // m = 0
+	set.eq.u32.u32 $p0/$o127, $r3, $r124
+	@$p0.ne bra ldiv
+	lcolm: shl.u32 $r10, $r9, 0x00000002
+	add.u32 $r10, $r10, $r5              // &x[row][m]
+	ld.global.f32 $r11, [$r10]
+	add.u32 $r12, $r14, $r9
+	mul.lo.u32 $r12, $r12, $r15
+	add.u32 $r13, $r14, $r3
+	add.u32 $r12, $r12, $r13
+	shl.u32 $r12, $r12, 0x00000002
+	add.u32 $r12, $r12, s[0x0010]        // &U[m][k]
+	ld.global.f32 $r16, [$r12]
+	mul.f32 $r16, $r11, $r16
+	sub.f32 $r8, $r8, $r16
+	add.u32 $r9, $r9, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r9, $r3
+	@$p0.ne bra lcolm
+	ldiv: add.u32 $r12, $r14, $r3
+	mul.lo.u32 $r12, $r12, $r15
+	add.u32 $r13, $r14, $r3
+	add.u32 $r12, $r12, $r13
+	shl.u32 $r12, $r12, 0x00000002
+	add.u32 $r12, $r12, s[0x0010]        // &U[k][k]
+	ld.global.f32 $r16, [$r12]
+	div.f32 $r8, $r8, $r16
+	st.global.f32 [$r7], $r8
+	add.u32 $r3, $r3, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r3, 0x00000010
+	@$p0.ne bra lcolk
+	lexit: exit
+`
+
+const ludInternalPrologSrc = `
+	cvt.u32.u16 $r0, %tid.x
+	cvt.u32.u16 $r1, %tid.y
+	mov.u32 $r15, s[0x0014]              // N
+	mov.u32 $r14, s[0x0018]              // off
+	shl.u32 $r2, $r15, 0x00000002        // row stride
+	add.u32 $r3, $r14, 0x00000010
+	add.u32 $r4, $r3, $r1                // row = off+16+ty
+	mul.lo.u32 $r5, $r4, $r15
+	add.u32 $r5, $r5, $r14
+	shl.u32 $r5, $r5, 0x00000002
+	add.u32 $r5, $r5, s[0x0010]          // &L[row][off]
+	add.u32 $r6, $r3, $r0                // col = off+16+tx
+	mul.lo.u32 $r7, $r14, $r15
+	add.u32 $r7, $r7, $r6
+	shl.u32 $r7, $r7, 0x00000002
+	add.u32 $r7, $r7, s[0x0010]          // &U[off][col]
+	mov.u32 $r10, $r124                  // acc = 0.0
+`
+
+const ludInternalStepSrc = `
+	ld.global.f32 $r11, [$r5]
+	ld.global.f32 $r12, [$r7]
+	mad.f32 $r10, $r11, $r12, $r10
+	add.u32 $r5, $r5, 0x00000004
+	add.u32 $r7, $r7, $r2
+`
+
+const ludInternalEpilogSrc = `
+	mul.lo.u32 $r8, $r4, $r15
+	add.u32 $r8, $r8, $r6
+	shl.u32 $r8, $r8, 0x00000002
+	add.u32 $r8, $r8, s[0x0010]          // &a[row][col]
+	ld.global.f32 $r9, [$r8]
+	sub.f32 $r9, $r9, $r10
+	st.global.f32 [$r8], $r9
+	exit
+`
+
+var (
+	ludDiagonalProg  = ptx.MustAssemble("lud_diagonal", ludDiagonalSrc)
+	ludPerimeterProg = ptx.MustAssemble("lud_perimeter", ludPerimeterSrc)
+	ludInternalProg  = ptx.MustAssemble("lud_internal",
+		ludInternalPrologSrc+strings.Repeat(ludInternalStepSrc, ludBS)+ludInternalEpilogSrc)
+)
+
+// ludMatrix builds the diagonally dominant 32x32 input system.
+func ludMatrix(n int) []float32 {
+	a := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = synth(0x1D, i*n+j)
+		}
+		a[i*n+i] += 16
+	}
+	return a
+}
+
+// ludDiagRef factorizes the bs x bs block at offset in place (float32,
+// kernel operation order).
+func ludDiagRef(a []float32, n, off int) {
+	for k := 0; k < ludBS-1; k++ {
+		for tx := k + 1; tx < ludBS; tx++ {
+			l := a[(off+tx)*n+off+k] / a[(off+k)*n+off+k]
+			a[(off+tx)*n+off+k] = l
+			for j := k + 1; j < ludBS; j++ {
+				a[(off+tx)*n+off+j] -= l * a[(off+k)*n+off+j]
+			}
+		}
+	}
+}
+
+// ludPeriRef solves the row and column panels against the factorized
+// diagonal block.
+func ludPeriRef(a []float32, n, off int) {
+	// Row panel A12 = L^-1 A12, one column at a time.
+	for c := 0; c < ludBS; c++ {
+		col := off + ludBS + c
+		for k := 0; k < ludBS-1; k++ {
+			pivot := a[(off+k)*n+col]
+			for i := k + 1; i < ludBS; i++ {
+				a[(off+i)*n+col] -= a[(off+i)*n+off+k] * pivot
+			}
+		}
+	}
+	// Column panel A21 = A21 U^-1, one row at a time.
+	for r := 0; r < ludBS; r++ {
+		row := off + ludBS + r
+		for k := 0; k < ludBS; k++ {
+			val := a[row*n+off+k]
+			for m := 0; m < k; m++ {
+				val -= a[row*n+off+m] * a[(off+m)*n+off+k]
+			}
+			val /= a[(off+k)*n+off+k]
+			a[row*n+off+k] = val
+		}
+	}
+}
+
+// ludIntRef applies the trailing update A22 -= A21*A12.
+func ludIntRef(a []float32, n, off int) {
+	for ty := 0; ty < ludBS; ty++ {
+		for tx := 0; tx < ludBS; tx++ {
+			row, col := off+ludBS+ty, off+ludBS+tx
+			var acc float32
+			for k := 0; k < ludBS; k++ {
+				acc = a[row*n+off+k]*a[(off+k)*n+col] + acc
+			}
+			a[row*n+col] -= acc
+		}
+	}
+}
+
+// buildLUD constructs one LUD stage instance: the device holds the matrix
+// state just before the stage, the reference output the state just after.
+func buildLUD(meta Meta, prog stageProg, scale Scale) (*Instance, error) {
+	const n, off = 2 * ludBS, 0
+	a := ludMatrix(n)
+	// Advance host state to just before this stage.
+	switch prog.stage {
+	case 1:
+		ludDiagRef(a, n, off)
+	case 2:
+		ludDiagRef(a, n, off)
+		ludPeriRef(a, n, off)
+	}
+
+	dev := gpusim.NewDevice(4 * n * n)
+	dev.WriteWords(0, wordsF32(a))
+
+	want := append([]float32(nil), a...)
+	switch prog.stage {
+	case 0:
+		ludDiagRef(want, n, off)
+	case 1:
+		ludPeriRef(want, n, off)
+	case 2:
+		ludIntRef(want, n, off)
+	}
+
+	target := buildTarget(meta.Name(), prog.prog, prog.grid, prog.block,
+		[]uint32{0, uint32(n), uint32(off)},
+		dev, []fault.Range{{Off: 0, Len: 4 * n * n}}, 0)
+	return &Instance{
+		Meta: meta, Scale: scale, Target: target,
+		WantOutput: bytesOfWords(wordsF32(want)),
+	}, nil
+}
+
+type stageProg struct {
+	stage int // 0 diagonal, 1 perimeter, 2 internal
+	prog  *isa.Program
+	grid  gpusim.Dim3
+	block gpusim.Dim3
+}
+
+func buildLUDDiagonal(scale Scale) (*Instance, error) {
+	return buildLUD(ludDiagonalMeta, stageProg{
+		stage: 0, prog: ludDiagonalProg,
+		grid:  gpusim.Dim3{X: 1, Y: 1, Z: 1},
+		block: gpusim.Dim3{X: ludBS, Y: 1, Z: 1},
+	}, scale)
+}
+
+func buildLUDPerimeter(scale Scale) (*Instance, error) {
+	return buildLUD(ludPerimeterMeta, stageProg{
+		stage: 1, prog: ludPerimeterProg,
+		grid:  gpusim.Dim3{X: 1, Y: 1, Z: 1},
+		block: gpusim.Dim3{X: 2 * ludBS, Y: 1, Z: 1},
+	}, scale)
+}
+
+func buildLUDInternal(scale Scale) (*Instance, error) {
+	return buildLUD(ludInternalMeta, stageProg{
+		stage: 2, prog: ludInternalProg,
+		grid:  gpusim.Dim3{X: 1, Y: 1, Z: 1},
+		block: gpusim.Dim3{X: ludBS, Y: ludBS, Z: 1},
+	}, scale)
+}
+
+var (
+	ludPerimeterMeta = Meta{
+		Suite: "Rodinia", App: "LUD", Kernel: "lud_perimeter", ID: "K44",
+		PaperThreads: 32, PaperSites: 1.75e6, HasLoops: true,
+	}
+	ludInternalMeta = Meta{
+		Suite: "Rodinia", App: "LUD", Kernel: "lud_internal", ID: "K45",
+		PaperThreads: 256, PaperSites: 6.84e5,
+	}
+	ludDiagonalMeta = Meta{
+		Suite: "Rodinia", App: "LUD", Kernel: "lud_diagonal", ID: "K46",
+		PaperThreads: 16, PaperSites: 5.26e5, HasLoops: true,
+	}
+)

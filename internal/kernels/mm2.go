@@ -1,0 +1,107 @@
+package kernels
+
+import (
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/ptx"
+)
+
+// 2MM (Polybench) mm2_kernel1: the first of the two matrix multiplies,
+// tmp = alpha*A*B, with alpha applied inside the accumulation loop (as the
+// Polybench CUDA source does) and no beta term.
+//
+// Parameters: s[0x10]=&A, s[0x14]=&B, s[0x18]=&tmp,
+// s[0x1c]=NI, s[0x20]=NJ, s[0x24]=NK. alpha=1.5.
+const mm2Src = `
+	cvt.u32.u16 $r0, %tid.x
+	cvt.u32.u16 $r1, %ctaid.x
+	cvt.u32.u16 $r2, %ntid.x
+	mad.lo.u32 $r0, $r1, $r2, $r0        // j
+	cvt.u32.u16 $r3, %tid.y
+	cvt.u32.u16 $r4, %ctaid.y
+	cvt.u32.u16 $r5, %ntid.y
+	mad.lo.u32 $r3, $r4, $r5, $r3        // i
+	mov.u32 $r4, s[0x001c]               // NI
+	set.ge.u32.u32 $p0/$o127, $r3, $r4
+	@$p0.ne bra lexit
+	mov.u32 $r5, s[0x0020]               // NJ
+	set.ge.u32.u32 $p0/$o127, $r0, $r5
+	@$p0.ne bra lexit
+	mov.u32 $r6, s[0x0024]               // NK
+	mul.lo.u32 $r7, $r3, $r6
+	shl.u32 $r7, $r7, 0x00000002
+	add.u32 $r7, $r7, s[0x0010]          // &A[i][0]
+	shl.u32 $r8, $r0, 0x00000002
+	add.u32 $r8, $r8, s[0x0014]          // &B[0][j]
+	shl.u32 $r9, $r5, 0x00000002         // B row stride
+	mov.u32 $r10, $r124                  // acc = 0.0
+	mov.u32 $r11, $r124                  // k = 0
+	lloop: ld.global.f32 $r12, [$r7]
+	ld.global.f32 $r13, [$r8]
+	mul.f32 $r12, $r12, 0f3FC00000       // alpha*A[i][k]
+	mad.f32 $r10, $r12, $r13, $r10
+	add.u32 $r7, $r7, 0x00000004
+	add.u32 $r8, $r8, $r9
+	add.u32 $r11, $r11, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r11, $r6
+	@$p0.ne bra lloop
+	mul.lo.u32 $r14, $r3, $r5
+	add.u32 $r14, $r14, $r0
+	shl.u32 $r14, $r14, 0x00000002
+	add.u32 $r14, $r14, s[0x0018]        // &tmp[i][j]
+	st.global.f32 [$r14], $r10
+	lexit: exit
+`
+
+var mm2Prog = ptx.MustAssemble("mm2_kernel1", mm2Src)
+
+func buildMM2(scale Scale) (*Instance, error) {
+	ni, nj, nk := 16, 16, 16
+	block := gpusim.Dim3{X: 8, Y: 8, Z: 1}
+	grid := gpusim.Dim3{X: 2, Y: 2, Z: 1}
+	if scale == ScalePaper {
+		ni, nj, nk = 128, 128, 128
+		block = gpusim.Dim3{X: 16, Y: 16, Z: 1}
+		grid = gpusim.Dim3{X: 8, Y: 8, Z: 1}
+	}
+	const alpha = float32(1.5)
+
+	a := make([]float32, ni*nk)
+	b := make([]float32, nk*nj)
+	for i := range a {
+		a[i] = synth(0xE1, i)
+	}
+	for i := range b {
+		b[i] = synth(0xE2, i)
+	}
+
+	aOff, bOff, tmpOff := 0, 4*ni*nk, 4*ni*nk+4*nk*nj
+	dev := gpusim.NewDevice(tmpOff + 4*ni*nj)
+	dev.WriteWords(aOff, wordsF32(a))
+	dev.WriteWords(bOff, wordsF32(b))
+
+	want := make([]float32, ni*nj)
+	for i := 0; i < ni; i++ {
+		for j := 0; j < nj; j++ {
+			var acc float32
+			for k := 0; k < nk; k++ {
+				acc = (a[i*nk+k]*alpha)*b[k*nj+j] + acc
+			}
+			want[i*nj+j] = acc
+		}
+	}
+
+	target := buildTarget(mm2Meta.Name(), mm2Prog, grid, block,
+		[]uint32{uint32(aOff), uint32(bOff), uint32(tmpOff),
+			uint32(ni), uint32(nj), uint32(nk)},
+		dev, []fault.Range{{Off: tmpOff, Len: 4 * ni * nj}}, 0)
+	return &Instance{
+		Meta: mm2Meta, Scale: scale, Target: target,
+		WantOutput: bytesOfWords(wordsF32(want)),
+	}, nil
+}
+
+var mm2Meta = Meta{
+	Suite: "Polybench", App: "2MM", Kernel: "mm2_kernel1", ID: "K1",
+	PaperThreads: 16384, PaperSites: 5.55e8, HasLoops: true,
+}

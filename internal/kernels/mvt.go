@@ -1,0 +1,93 @@
+package kernels
+
+import (
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/ptx"
+)
+
+// MVT (Polybench) mvt_kernel1: x1 = x1 + A*y1. One thread per row; the dot
+// product loop runs N iterations, which is why the paper's Table VII reports
+// 512 loop iterations and 99.71% of instructions inside loops for this
+// kernel.
+//
+// Parameter block: s[0x10]=&A, s[0x14]=&y1, s[0x18]=&x1, s[0x1c]=N.
+const mvtSrc = `
+	cvt.u32.u16 $r0, %tid.x
+	cvt.u32.u16 $r1, %ctaid.x
+	cvt.u32.u16 $r2, %ntid.x
+	mad.lo.u32 $r0, $r1, $r2, $r0        // i (row)
+	mov.u32 $r3, s[0x001c]               // N
+	set.ge.u32.u32 $p0/$o127, $r0, $r3
+	@$p0.ne bra lexit
+	mul.lo.u32 $r4, $r0, $r3
+	shl.u32 $r4, $r4, 0x00000002
+	add.u32 $r4, $r4, s[0x0010]          // &A[i][0]
+	mov.u32 $r5, s[0x0014]               // &y1[0]
+	shl.u32 $r6, $r0, 0x00000002
+	add.u32 $r6, $r6, s[0x0018]          // &x1[i]
+	ld.global.f32 $r7, [$r6]             // acc = x1[i]
+	mov.u32 $r8, $r124                   // j = 0
+	lloop: ld.global.f32 $r9, [$r4]
+	ld.global.f32 $r10, [$r5]
+	mad.f32 $r7, $r9, $r10, $r7
+	add.u32 $r4, $r4, 0x00000004
+	add.u32 $r5, $r5, 0x00000004
+	add.u32 $r8, $r8, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r8, $r3
+	@$p0.ne bra lloop
+	st.global.f32 [$r6], $r7
+	lexit: exit
+`
+
+var mvtProg = ptx.MustAssemble("mvt_kernel1", mvtSrc)
+
+func buildMVT(scale Scale) (*Instance, error) {
+	n := 64
+	block := gpusim.Dim3{X: 32, Y: 1, Z: 1}
+	grid := gpusim.Dim3{X: 2, Y: 1, Z: 1}
+	if scale == ScalePaper {
+		n = 512
+		block = gpusim.Dim3{X: 256, Y: 1, Z: 1}
+		grid = gpusim.Dim3{X: 2, Y: 1, Z: 1}
+	}
+
+	a := make([]float32, n*n)
+	y1 := make([]float32, n)
+	x1 := make([]float32, n)
+	for i := range a {
+		a[i] = synth(0xA1, i)
+	}
+	for i := 0; i < n; i++ {
+		y1[i] = synth(0xA2, i)
+		x1[i] = synth(0xA3, i)
+	}
+
+	aOff, y1Off, x1Off := 0, 4*n*n, 4*n*n+4*n
+	dev := gpusim.NewDevice(4*n*n + 8*n)
+	dev.WriteWords(aOff, wordsF32(a))
+	dev.WriteWords(y1Off, wordsF32(y1))
+	dev.WriteWords(x1Off, wordsF32(x1))
+
+	want := make([]float32, n)
+	for i := 0; i < n; i++ {
+		acc := x1[i]
+		for j := 0; j < n; j++ {
+			acc = a[i*n+j]*y1[j] + acc
+		}
+		want[i] = acc
+	}
+
+	target := buildTarget(mvtMeta.Name(), mvtProg, grid, block,
+		[]uint32{uint32(aOff), uint32(y1Off), uint32(x1Off), uint32(n)},
+		dev, []fault.Range{{Off: x1Off, Len: 4 * n}}, 0)
+	return &Instance{
+		Meta: mvtMeta, Scale: scale, Target: target,
+		WantOutput: bytesOfWords(wordsF32(want)),
+	}, nil
+}
+
+var mvtMeta = Meta{
+	Suite: "Polybench", App: "MVT", Kernel: "mvt_kernel1", ID: "K1",
+	PaperThreads: 512, PaperSites: 6.83e7, HasLoops: true,
+}

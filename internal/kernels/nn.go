@@ -1,0 +1,88 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/ptx"
+)
+
+// NN (Rodinia) euclid: nearest-neighbour distance kernel. One thread per
+// record computes the euclidean distance from the record's (lat, lng) to the
+// query point. Straight-line code with no loops — the paper evaluates NN
+// only in the loop study (Table VII: 43008 threads, 0 loop iterations).
+//
+// Parameters: s[0x10]=&lat, s[0x14]=&lng, s[0x18]=&dist, s[0x1c]=nrecords,
+// s[0x20]=target lat (f32 bits), s[0x24]=target lng (f32 bits).
+const nnSrc = `
+	cvt.u32.u16 $r0, %tid.x
+	cvt.u32.u16 $r1, %ctaid.x
+	cvt.u32.u16 $r2, %ntid.x
+	mad.lo.u32 $r0, $r1, $r2, $r0        // record index
+	mov.u32 $r3, s[0x001c]               // nrecords
+	set.ge.u32.u32 $p0/$o127, $r0, $r3
+	@$p0.ne bra lexit
+	shl.u32 $r4, $r0, 0x00000002
+	add.u32 $r5, $r4, s[0x0010]
+	ld.global.f32 $r6, [$r5]             // lat
+	add.u32 $r5, $r4, s[0x0014]
+	ld.global.f32 $r7, [$r5]             // lng
+	sub.f32 $r6, $r6, s[0x0020]
+	sub.f32 $r7, $r7, s[0x0024]
+	mul.f32 $r8, $r6, $r6
+	mad.f32 $r8, $r7, $r7, $r8
+	sqrt.f32 $r8, $r8
+	add.u32 $r5, $r4, s[0x0018]
+	st.global.f32 [$r5], $r8
+	lexit: exit
+`
+
+var nnProg = ptx.MustAssemble("euclid", nnSrc)
+
+func buildNN(scale Scale) (*Instance, error) {
+	nrec := 512
+	block := gpusim.Dim3{X: 64, Y: 1, Z: 1}
+	grid := gpusim.Dim3{X: 8, Y: 1, Z: 1}
+	if scale == ScalePaper {
+		nrec = 43008
+		block = gpusim.Dim3{X: 256, Y: 1, Z: 1}
+		grid = gpusim.Dim3{X: 168, Y: 1, Z: 1}
+	}
+	const tlat, tlng = float32(30.5), float32(-90.25)
+
+	lat := make([]float32, nrec)
+	lng := make([]float32, nrec)
+	for i := range lat {
+		lat[i] = 30 + synth(0x11, i)
+		lng[i] = -90 + synth(0x12, i)
+	}
+
+	latOff, lngOff, distOff := 0, 4*nrec, 8*nrec
+	dev := gpusim.NewDevice(12 * nrec)
+	dev.WriteWords(latOff, wordsF32(lat))
+	dev.WriteWords(lngOff, wordsF32(lng))
+
+	want := make([]float32, nrec)
+	for i := range want {
+		dx := lat[i] - tlat
+		dy := lng[i] - tlng
+		s := dx * dx
+		s = dy*dy + s
+		want[i] = float32(math.Sqrt(float64(s)))
+	}
+
+	target := buildTarget(nnMeta.Name(), nnProg, grid, block,
+		[]uint32{uint32(latOff), uint32(lngOff), uint32(distOff),
+			uint32(nrec), f32w(tlat), f32w(tlng)},
+		dev, []fault.Range{{Off: distOff, Len: 4 * nrec}}, 0)
+	return &Instance{
+		Meta: nnMeta, Scale: scale, Target: target,
+		WantOutput: bytesOfWords(wordsF32(want)),
+	}, nil
+}
+
+var nnMeta = Meta{
+	Suite: "Rodinia", App: "NN", Kernel: "euclid", ID: "K1",
+	PaperThreads: 43008,
+}

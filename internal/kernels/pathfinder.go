@@ -1,0 +1,126 @@
+package kernels
+
+import (
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/ptx"
+)
+
+// PathFinder (Rodinia) dynproc_kernel: dynamic programming over a cost grid.
+// Each thread owns one column; every iteration takes the minimum of the
+// left/centre/right cumulative costs from shared memory and adds the wall
+// cost of the next row. Threads at the tile edges skip a neighbour load
+// (paper Fig. 5: representative threads differ by a handful of instructions
+// per iteration), and the row loop gives Table VII's 20 iterations with
+// 92.84% of instructions in the loop.
+//
+// Parameters: s[0x10]=&wall, s[0x14]=&prev, s[0x18]=&out, s[0x1c]=cols,
+// s[0x20]=rows. Shared layout: the tile's cumulative costs at 0x40.
+const pathfinderSrc = `
+	cvt.u32.u16 $r0, %tid.x              // tx
+	cvt.u32.u16 $r1, %ctaid.x
+	cvt.u32.u16 $r2, %ntid.x
+	mad.lo.u32 $r3, $r1, $r2, $r0        // col
+	shl.u32 $r4, $r0, 0x00000002         // tx bytes
+	shl.u32 $r5, $r3, 0x00000002         // col bytes
+	add.u32 $r6, $r5, s[0x0014]
+	ld.global.u32 $r7, [$r6]
+	st.shared.u32 s[$r4+0x0040], $r7     // stage prev[col]
+	bar.sync 0x00000000
+	sub.u32 $r8, $r2, 0x00000001         // bw-1
+	mov.u32 $r9, $r124                   // it = 0
+	mov.u32 $r10, s[0x0010]
+	add.u32 $r10, $r10, $r5              // &wall[0][col]
+	shl.u32 $r11, s[0x001c], 0x00000002  // wall row stride
+	// Boundary handling is hoisted out of the loop (paper Fig. 5: the
+	// representative threads diverge once, in a block before the loop, and
+	// share the entire loop body): edge threads alias their own cell as
+	// the missing neighbour.
+	mov.u32 $r17, $r4                    // left tile offset = own
+	set.eq.u32.u32 $p0/$o127, $r0, $r124
+	@$p0.ne bra lleft
+	sub.u32 $r17, $r4, 0x00000004
+	lleft: mov.u32 $r18, $r4             // right tile offset = own
+	set.eq.u32.u32 $p0/$o127, $r0, $r8
+	@$p0.ne bra lright
+	add.u32 $r18, $r4, 0x00000004
+	lright: nop
+	lloop: ld.shared.u32 $r12, s[$r4+0x0040]  // centre
+	ld.shared.u32 $r13, s[$r17+0x0040]   // left
+	ld.shared.u32 $r14, s[$r18+0x0040]   // right
+	min.u32 $r13, $r13, $r12
+	min.u32 $r13, $r13, $r14
+	ld.global.u32 $r15, [$r10]
+	add.u32 $r13, $r13, $r15             // min + wall[it][col]
+	bar.sync 0x00000000
+	st.shared.u32 s[$r4+0x0040], $r13
+	bar.sync 0x00000000
+	add.u32 $r10, $r10, $r11
+	add.u32 $r9, $r9, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r9, s[0x0020]
+	@$p0.ne bra lloop
+	ld.shared.u32 $r12, s[$r4+0x0040]
+	add.u32 $r16, $r5, s[0x0018]
+	st.global.u32 [$r16], $r12
+	exit
+`
+
+var pathfinderProg = ptx.MustAssemble("dynproc_kernel", pathfinderSrc)
+
+func buildPathFinder(scale Scale) (*Instance, error) {
+	cols, rows, bw := 128, 8, 32
+	grid := gpusim.Dim3{X: 4, Y: 1, Z: 1}
+	if scale == ScalePaper {
+		cols, rows, bw = 1280, 20, 256
+		grid = gpusim.Dim3{X: 5, Y: 1, Z: 1}
+	}
+	block := gpusim.Dim3{X: bw, Y: 1, Z: 1}
+
+	wall := make([]uint32, rows*cols)
+	prev := make([]uint32, cols)
+	for i := range wall {
+		wall[i] = uint32(synthPos(0x9A, i) * 4)
+	}
+	for i := range prev {
+		prev[i] = uint32(synthPos(0x9B, i) * 8)
+	}
+
+	wOff := 0
+	pOff := 4 * rows * cols
+	oOff := pOff + 4*cols
+	dev := gpusim.NewDevice(oOff + 4*cols)
+	dev.WriteWords(wOff, wall)
+	dev.WriteWords(pOff, prev)
+
+	// Reference: tile-local DP (tiles do not exchange halo columns, matching
+	// the kernel's shared-memory scope).
+	cur := append([]uint32(nil), prev...)
+	for it := 0; it < rows; it++ {
+		next := make([]uint32, cols)
+		for c := 0; c < cols; c++ {
+			tx := c % bw
+			best := cur[c]
+			if tx > 0 && cur[c-1] < best {
+				best = cur[c-1]
+			}
+			if tx < bw-1 && cur[c+1] < best {
+				best = cur[c+1]
+			}
+			next[c] = best + wall[it*cols+c]
+		}
+		cur = next
+	}
+
+	target := buildTarget(pathfinderMeta.Name(), pathfinderProg, grid, block,
+		[]uint32{uint32(wOff), uint32(pOff), uint32(oOff), uint32(cols), uint32(rows)},
+		dev, []fault.Range{{Off: oOff, Len: 4 * cols}}, 0)
+	return &Instance{
+		Meta: pathfinderMeta, Scale: scale, Target: target,
+		WantOutput: bytesOfWords(cur),
+	}, nil
+}
+
+var pathfinderMeta = Meta{
+	Suite: "Rodinia", App: "PathFinder", Kernel: "dynproc_kernel", ID: "K1",
+	PaperThreads: 1280, PaperSites: 2.77e7, HasLoops: true,
+}

@@ -1,0 +1,107 @@
+package kernels
+
+import (
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/ptx"
+)
+
+// SYRK (Polybench): symmetric rank-K update C = beta*C + alpha*A*A^T. Like
+// GEMM one thread computes one C element, but both loop operands stream from
+// A (rows i and j), stride 4 each.
+//
+// Parameters: s[0x10]=&A, s[0x14]=&C, s[0x18]=N, s[0x1c]=NK.
+const syrkSrc = `
+	cvt.u32.u16 $r0, %tid.x
+	cvt.u32.u16 $r1, %ctaid.x
+	cvt.u32.u16 $r2, %ntid.x
+	mad.lo.u32 $r0, $r1, $r2, $r0        // j
+	cvt.u32.u16 $r3, %tid.y
+	cvt.u32.u16 $r4, %ctaid.y
+	cvt.u32.u16 $r5, %ntid.y
+	mad.lo.u32 $r3, $r4, $r5, $r3        // i
+	mov.u32 $r4, s[0x0018]               // N
+	set.ge.u32.u32 $p0/$o127, $r3, $r4
+	@$p0.ne bra lexit
+	set.ge.u32.u32 $p0/$o127, $r0, $r4
+	@$p0.ne bra lexit
+	mov.u32 $r6, s[0x001c]               // NK
+	mul.lo.u32 $r7, $r3, $r6
+	shl.u32 $r7, $r7, 0x00000002
+	add.u32 $r7, $r7, s[0x0010]          // &A[i][0]
+	mul.lo.u32 $r8, $r0, $r6
+	shl.u32 $r8, $r8, 0x00000002
+	add.u32 $r8, $r8, s[0x0010]          // &A[j][0]
+	mov.u32 $r10, $r124                  // acc = 0.0
+	mov.u32 $r11, $r124                  // k = 0
+	lloop: ld.global.f32 $r12, [$r7]
+	ld.global.f32 $r13, [$r8]
+	mad.f32 $r10, $r12, $r13, $r10
+	add.u32 $r7, $r7, 0x00000004
+	add.u32 $r8, $r8, 0x00000004
+	add.u32 $r11, $r11, 0x00000001
+	set.lt.u32.u32 $p0/$o127, $r11, $r6
+	@$p0.ne bra lloop
+	mul.lo.u32 $r14, $r3, $r4
+	add.u32 $r14, $r14, $r0
+	shl.u32 $r14, $r14, 0x00000002
+	add.u32 $r14, $r14, s[0x0014]        // &C[i][j]
+	ld.global.f32 $r15, [$r14]
+	mul.f32 $r10, $r10, 0f3FC00000       // alpha = 1.5
+	mul.f32 $r15, $r15, 0f3F99999A       // beta = 1.2
+	add.f32 $r10, $r10, $r15
+	st.global.f32 [$r14], $r10
+	lexit: exit
+`
+
+var syrkProg = ptx.MustAssemble("syrk_kernel", syrkSrc)
+
+func buildSYRK(scale Scale) (*Instance, error) {
+	n, nk := 16, 16
+	block := gpusim.Dim3{X: 8, Y: 8, Z: 1}
+	grid := gpusim.Dim3{X: 2, Y: 2, Z: 1}
+	if scale == ScalePaper {
+		n, nk = 128, 128
+		block = gpusim.Dim3{X: 16, Y: 16, Z: 1}
+		grid = gpusim.Dim3{X: 8, Y: 8, Z: 1}
+	}
+	const alpha, beta = float32(1.5), float32(1.2)
+
+	a := make([]float32, n*nk)
+	c := make([]float32, n*n)
+	for i := range a {
+		a[i] = synth(0xD1, i)
+	}
+	for i := range c {
+		c[i] = synth(0xD2, i)
+	}
+
+	aOff, cOff := 0, 4*n*nk
+	dev := gpusim.NewDevice(cOff + 4*n*n)
+	dev.WriteWords(aOff, wordsF32(a))
+	dev.WriteWords(cOff, wordsF32(c))
+
+	want := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for k := 0; k < nk; k++ {
+				acc = a[i*nk+k]*a[j*nk+k] + acc
+			}
+			want[i*n+j] = acc*alpha + c[i*n+j]*beta
+		}
+	}
+
+	target := buildTarget(syrkMeta.Name(), syrkProg, grid, block,
+		[]uint32{uint32(aOff), uint32(cOff), uint32(n), uint32(nk)},
+		dev, []fault.Range{{Off: cOff, Len: 4 * n * n}}, 0)
+	return &Instance{
+		Meta: syrkMeta, Scale: scale, Target: target,
+		WantOutput: bytesOfWords(wordsF32(want)),
+	}, nil
+}
+
+var syrkMeta = Meta{
+	Suite: "Polybench", App: "SYRK", Kernel: "syrk_kernel", ID: "K1",
+	PaperThreads: 16384, PaperSites: 6.23e8, HasLoops: true,
+}

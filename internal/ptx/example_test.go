@@ -1,0 +1,40 @@
+package ptx_test
+
+import (
+	"fmt"
+
+	"repro/internal/ptx"
+)
+
+// ExampleAssemble shows the PTXPlus dialect round-tripping through the
+// assembler and disassembler.
+func ExampleAssemble() {
+	prog, err := ptx.Assemble("axpy", `
+		cvt.u32.u16 $r0, %tid.x
+		shl.u32 $r1, $r0, 0x00000002
+		ld.global.f32 $r2, [$r1]
+		mad.f32 $r2, $r2, 0f40000000, $r2   // x = 2x + x
+		st.global.f32 [$r1], $r2
+		exit
+	`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(prog)
+	// Output:
+	// cvt.u32.u16 $r0, %tid.x
+	// shl.u32 $r1, $r0, 0x00000002
+	// ld.global.f32 $r2, [$r1]
+	// mad.f32 $r2, $r2, 0x40000000, $r2
+	// st.global.f32 [$r1], $r2
+	// exit
+}
+
+// ExampleAssemble_errors shows positioned parse errors.
+func ExampleAssemble_errors() {
+	_, err := ptx.Assemble("bad", "mov.u32 $r1, 1\nfrobnicate $r1")
+	fmt.Println(err)
+	// Output:
+	// ptx: bad:2: unknown opcode "frobnicate"
+}

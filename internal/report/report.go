@@ -1,0 +1,168 @@
+// Package report serializes analysis results (profiles, plans, campaign
+// outcomes) into stable JSON documents for downstream tooling — spreadsheet
+// imports, CI dashboards, regression diffs. Only derived summaries are
+// exported, never raw traces, so documents stay small at any kernel scale.
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// Profile is the JSON summary of a resilience profile.
+type Profile struct {
+	MaskedPct float64 `json:"masked_pct"`
+	SDCPct    float64 `json:"sdc_pct"`
+	OtherPct  float64 `json:"other_pct"`
+	// CrashPct and HangPct split OtherPct by cause.
+	CrashPct float64 `json:"crash_pct"`
+	HangPct  float64 `json:"hang_pct"`
+	// Experiments is the unweighted injection-run count behind the profile.
+	Experiments int64 `json:"experiments"`
+	// Weight is the weighted site mass the profile represents.
+	Weight float64 `json:"weight"`
+}
+
+// NewProfile converts a fault.Dist.
+func NewProfile(d fault.Dist) Profile {
+	return Profile{
+		MaskedPct:   d.Pct(fault.ClassMasked),
+		SDCPct:      d.Pct(fault.ClassSDC),
+		OtherPct:    d.Pct(fault.ClassOther),
+		CrashPct:    d.PctOutcome(fault.Crash),
+		HangPct:     d.PctOutcome(fault.Hang),
+		Experiments: d.N,
+		Weight:      d.Total(),
+	}
+}
+
+// Stage mirrors core.StageSites.
+type Stage struct {
+	Exhaustive int64 `json:"exhaustive"`
+	Thread     int64 `json:"thread"`
+	Inst       int64 `json:"inst"`
+	Loop       int64 `json:"loop"`
+	Bit        int64 `json:"bit"`
+}
+
+// ThreadGroup is the JSON summary of one stage-1 thread group.
+type ThreadGroup struct {
+	CTAGroup   int   `json:"cta_group"`
+	ICnt       int64 `json:"icnt"`
+	Rep        int   `json:"rep"`
+	Population int64 `json:"population"`
+}
+
+// Plan is the JSON summary of a pruning plan.
+type Plan struct {
+	Kernel       string        `json:"kernel"`
+	Threads      int           `json:"threads"`
+	CTAGroups    int           `json:"cta_groups"`
+	ThreadGroups []ThreadGroup `json:"thread_groups"`
+	Stages       Stage         `json:"stages"`
+	Sites        int           `json:"sites"`
+	KnownMasked  float64       `json:"known_masked_weight"`
+	Reduction    float64       `json:"reduction"`
+	// InstPrunedPct is Table VI's "% pruned common instructions".
+	InstPrunedPct float64 `json:"inst_pruned_pct"`
+}
+
+// NewPlan converts a core.Plan.
+func NewPlan(p *core.Plan) Plan {
+	out := Plan{
+		Kernel:        p.Target.Name,
+		Threads:       p.Target.Threads(),
+		CTAGroups:     len(p.CTAGroups),
+		Stages:        Stage(p.Stages),
+		Sites:         len(p.Sites),
+		KnownMasked:   p.KnownMasked,
+		Reduction:     p.Reduction(),
+		InstPrunedPct: p.InstPrune.PctPruned(),
+	}
+	for _, g := range p.ThreadGroups {
+		out.ThreadGroups = append(out.ThreadGroups, ThreadGroup{
+			CTAGroup: g.CTAGroup, ICnt: g.ICnt, Rep: g.Rep, Population: g.Population,
+		})
+	}
+	return out
+}
+
+// KernelProfile is the JSON summary of a fault-free profiling run.
+type KernelProfile struct {
+	Kernel     string  `json:"kernel"`
+	Threads    int     `json:"threads"`
+	CTAs       int     `json:"ctas"`
+	TotalDyn   int64   `json:"total_dynamic_instructions"`
+	FaultSites int64   `json:"fault_sites"`
+	MinICnt    int64   `json:"min_icnt"`
+	MaxICnt    int64   `json:"max_icnt"`
+	LoopIters  int     `json:"max_loop_iterations"`
+	PctInLoops float64 `json:"pct_instructions_in_loops"`
+}
+
+// NewKernelProfile summarizes a prepared target's profile.
+func NewKernelProfile(name string, prof *trace.Profile) KernelProfile {
+	out := KernelProfile{
+		Kernel:   name,
+		Threads:  len(prof.Threads),
+		CTAs:     prof.NumCTAs(),
+		TotalDyn: prof.TotalDyn(),
+	}
+	out.FaultSites = prof.TotalSites()
+	var inLoop, total int64
+	if len(prof.Threads) > 0 {
+		out.MinICnt = prof.Threads[0].ICnt
+	}
+	for i := range prof.Threads {
+		c := prof.Threads[i].ICnt
+		if c < out.MinICnt {
+			out.MinICnt = c
+		}
+		if c > out.MaxICnt {
+			out.MaxICnt = c
+		}
+		s := trace.SummarizeLoops(prof.Threads[i].PCs)
+		inLoop += s.InLoopInstrs
+		total += s.Instrs
+		if s.TotalIters > out.LoopIters {
+			out.LoopIters = s.TotalIters
+		}
+	}
+	if total > 0 {
+		out.PctInLoops = 100 * float64(inLoop) / float64(total)
+	}
+	return out
+}
+
+// Estimate bundles a plan with its estimated and baseline profiles.
+type Estimate struct {
+	Plan     Plan     `json:"plan"`
+	Pruned   Profile  `json:"pruned"`
+	Baseline *Profile `json:"baseline,omitempty"`
+	// MaxDeltaPP is the largest class difference in percentage points,
+	// present only with a baseline.
+	MaxDeltaPP *float64 `json:"max_delta_pp,omitempty"`
+}
+
+// NewEstimate assembles the document; baseline may be the zero Dist to omit.
+func NewEstimate(p *core.Plan, pruned fault.Dist, baseline *fault.Dist) Estimate {
+	e := Estimate{Plan: NewPlan(p), Pruned: NewProfile(pruned)}
+	if baseline != nil {
+		bp := NewProfile(*baseline)
+		e.Baseline = &bp
+		d := pruned.MaxClassDelta(*baseline)
+		e.MaxDeltaPP = &d
+	}
+	return e
+}
+
+// Write emits v as indented JSON.
+func Write(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,37 @@
+package stats
+
+import "math"
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// proportion estimated as successes/n at the given confidence level. It is
+// the interval the campaign reports quote next to sampled resilience
+// profiles: unlike the normal approximation the paper's Eq. 2 planning uses,
+// Wilson stays inside [0, 1] and behaves sensibly for proportions near the
+// boundaries (e.g. the ~1% SDC rates of late Gaussian kernels).
+func WilsonInterval(successes, n int64, confidence float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	z := TStat(confidence)
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// MarginAt reports the half-width (in proportion units) of the Wilson
+// interval for a class with the given weight share of a campaign — the
+// effective error margin achieved by n experiments.
+func MarginAt(successes, n int64, confidence float64) float64 {
+	lo, hi := WilsonInterval(successes, n, confidence)
+	return (hi - lo) / 2
+}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilsonInterval(t *testing.T) {
+	// 50/100 at 95%: the classic Wilson interval is about [0.404, 0.596].
+	lo, hi := WilsonInterval(50, 100, 0.95)
+	if math.Abs(lo-0.404) > 0.005 || math.Abs(hi-0.596) > 0.005 {
+		t.Fatalf("interval = [%v, %v]", lo, hi)
+	}
+	// Boundary proportions stay inside [0, 1] (the normal approximation
+	// would not).
+	lo, hi = WilsonInterval(0, 50, 0.95)
+	if lo != 0 || hi <= 0 || hi > 0.2 {
+		t.Fatalf("zero-successes interval = [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(50, 50, 0.95)
+	if hi < 1-1e-9 || lo >= 1 || lo < 0.8 {
+		t.Fatalf("all-successes interval = [%v, %v]", lo, hi)
+	}
+	// Degenerate n.
+	lo, hi = WilsonInterval(0, 0, 0.95)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty interval = [%v, %v]", lo, hi)
+	}
+}
+
+func TestWilsonShrinksWithN(t *testing.T) {
+	m1 := MarginAt(10, 100, 0.95)
+	m2 := MarginAt(100, 1000, 0.95)
+	m3 := MarginAt(1000, 10000, 0.95)
+	if !(m1 > m2 && m2 > m3) {
+		t.Fatalf("margins not shrinking: %v %v %v", m1, m2, m3)
+	}
+}
+
+// TestWilsonProperty: for arbitrary (successes, n), the interval is ordered,
+// bounded, and contains the point estimate.
+func TestWilsonProperty(t *testing.T) {
+	f := func(s, n uint16) bool {
+		nn := int64(n%5000) + 1
+		ss := int64(s) % (nn + 1)
+		lo, hi := WilsonInterval(ss, nn, 0.95)
+		p := float64(ss) / float64(nn)
+		return lo >= 0 && hi <= 1 && lo <= hi && p >= lo-1e-12 && p <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package textplot renders the small set of plot shapes the paper's figures
+// use — boxplots (Figs. 2-4) and log-scale bar charts (Fig. 10) — as plain
+// text, so cmd/experiments emits something readable as a figure and not
+// only tables.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Boxplots renders one horizontal boxplot per row, all sharing a common
+// scale. Each row shows whiskers (min..max), the interquartile box, and the
+// median marker:
+//
+//	C0  |   ├────▓▓▓▓┃▓▓▓▓▓▓┤        | G-1
+//
+// width is the plot area in characters (minimum 20).
+func Boxplots(w io.Writer, labels []string, boxes []stats.Boxplot, tags []string, width int) {
+	if width < 20 {
+		width = 20
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range boxes {
+		if b.N == 0 {
+			continue
+		}
+		lo = math.Min(lo, b.Min)
+		hi = math.Max(hi, b.Max)
+	}
+	if math.IsInf(lo, 1) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	scale := func(v float64) int {
+		p := int(math.Round((v - lo) / (hi - lo) * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, b := range boxes {
+		row := make([]rune, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		if b.N > 0 {
+			minP, q1P := scale(b.Min), scale(b.Q1)
+			medP, q3P, maxP := scale(b.Median), scale(b.Q3), scale(b.Max)
+			for j := minP; j <= maxP; j++ {
+				row[j] = '─'
+			}
+			for j := q1P; j <= q3P; j++ {
+				row[j] = '▓'
+			}
+			row[minP] = '├'
+			row[maxP] = '┤'
+			row[medP] = '┃'
+		}
+		tag := ""
+		if i < len(tags) {
+			tag = " " + tags[i]
+		}
+		fmt.Fprintf(w, "%-*s |%s|%s\n", labelW, labels[i], string(row), tag)
+	}
+	fmt.Fprintf(w, "%-*s  %-*.4g%*.4g\n", labelW, "", width/2, lo, width-width/2, hi)
+}
+
+// LogBars renders one bar per value on a log10 scale, labelled with the raw
+// value — the shape of the paper's Fig. 10 normalized fault-site bars.
+// Values must be positive; zero or negative values render empty.
+func LogBars(w io.Writer, labels []string, values []float64, width int) {
+	if width < 20 {
+		width = 20
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v > 0 {
+			lo = math.Min(lo, math.Log10(v))
+			hi = math.Max(hi, math.Log10(v))
+		}
+	}
+	if math.IsInf(lo, 1) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	// Anchor the axis at least one decade below the smallest value so
+	// every bar is visible.
+	lo = math.Floor(lo) - 1
+	if hi <= lo {
+		hi = lo + 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if v > 0 {
+			n = int(math.Round((math.Log10(v) - lo) / (hi - lo) * float64(width)))
+			if n < 1 {
+				n = 1
+			}
+			if n > width {
+				n = width
+			}
+		}
+		fmt.Fprintf(w, "%-*s |%s%s %.3g\n", labelW, labels[i],
+			strings.Repeat("█", n), strings.Repeat(" ", width-n), v)
+	}
+}

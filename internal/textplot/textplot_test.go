@@ -1,0 +1,81 @@
+package textplot_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/textplot"
+)
+
+func TestBoxplots(t *testing.T) {
+	var buf bytes.Buffer
+	boxes := []stats.Boxplot{
+		stats.NewBoxplot([]float64{0, 10, 20, 30, 40}),
+		stats.NewBoxplot([]float64{35, 38, 40}),
+	}
+	textplot.Boxplots(&buf, []string{"C0", "C1"}, boxes, []string{"G-1", "G-2"}, 40)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two rows + axis
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"├", "┤", "┃", "▓", "G-1", "G-2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// The wide distribution's whisker starts left of the narrow one's.
+	if strings.Index(lines[0], "├") >= strings.Index(lines[1], "├") {
+		t.Fatalf("scaling broken:\n%s", out)
+	}
+}
+
+func TestBoxplotsDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	textplot.Boxplots(&buf, []string{"x"}, []stats.Boxplot{{}}, nil, 30)
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatalf("empty input: %q", buf.String())
+	}
+	buf.Reset()
+	// All-equal values: must not divide by zero; the whole plot collapses
+	// to the median marker.
+	textplot.Boxplots(&buf, []string{"x"}, []stats.Boxplot{
+		stats.NewBoxplot([]float64{5, 5, 5}),
+	}, nil, 30)
+	if !strings.Contains(buf.String(), "┃") {
+		t.Fatalf("constant data: %q", buf.String())
+	}
+}
+
+func TestLogBars(t *testing.T) {
+	var buf bytes.Buffer
+	textplot.LogBars(&buf, []string{"exhaustive", "thread", "bit"},
+		[]float64{1e6, 1e4, 500}, 40)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	count := func(s string) int { return strings.Count(s, "█") }
+	if !(count(lines[0]) > count(lines[1]) && count(lines[1]) > count(lines[2])) {
+		t.Fatalf("bars not ordered:\n%s", out)
+	}
+	if count(lines[2]) < 1 {
+		t.Fatalf("smallest bar invisible:\n%s", out)
+	}
+	for _, want := range []string{"1e+06", "500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing value label %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLogBarsDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	textplot.LogBars(&buf, []string{"z"}, []float64{0}, 30)
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatalf("zero-only input: %q", buf.String())
+	}
+}

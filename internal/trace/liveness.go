@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"repro/internal/gpusim"
+	"repro/internal/isa"
+)
+
+// DeadWrites computes, for each dynamic instruction of a thread trace,
+// whether its destination register is *dead*: overwritten by a later
+// instruction of the same thread — or never touched again before the thread
+// exits — without any intervening read. A single-bit fault in a dead
+// destination provably cannot affect the run (registers are thread-private
+// and every architectural escape — arithmetic use, memory address, store
+// value, guard evaluation — counts as a read), so dead sites are masked by
+// construction.
+//
+// This is the Relyzer/MeRLiN-style static-equivalence pruning the paper's
+// related-work section describes for CPUs, transplanted to the SIMT traces;
+// internal/core exposes it as an optional stage beyond the paper's four.
+func DeadWrites(prog *isa.Program, pcs []uint16) []bool {
+	dead := make([]bool, len(pcs))
+
+	// pending[r] is the dynamic index of the most recent unread write to
+	// register key r, or -1.
+	pending := map[regKey]int{}
+	kill := func(r isa.Reg) {
+		delete(pending, key(r))
+	}
+	read := func(r isa.Reg) {
+		if r.Class == isa.RegSpecial || !r.Valid() {
+			return
+		}
+		kill(r)
+	}
+
+	for i := range pcs {
+		in := &prog.Instrs[gpusim.PC(pcs[i])]
+
+		// Reads: guard predicate, all source registers (including memory
+		// base registers), memory-destination base registers.
+		if in.Guard.Active() {
+			read(in.Guard.Reg)
+		}
+		for _, s := range in.Srcs {
+			switch s.Kind {
+			case isa.OpdReg:
+				read(s.Reg)
+			case isa.OpdMem:
+				if s.BaseValid {
+					read(s.Reg)
+				}
+			}
+		}
+		if in.Dst.Kind == isa.OpdMem && in.Dst.BaseValid {
+			read(in.Dst.Reg)
+		}
+
+		if !gpusim.Wrote(pcs[i]) {
+			continue
+		}
+
+		// Writes: the fault site is the instruction's DestReg (the
+		// predicate half of dual destinations); a previous unread write to
+		// the same register becomes dead. The value half of a dual
+		// destination also overwrites its register.
+		site, _, ok := in.DestReg()
+		if !ok {
+			continue
+		}
+		if prev, exists := pending[key(site)]; exists {
+			dead[prev] = true
+		}
+		pending[key(site)] = i
+		if in.DstPred.Valid() && in.Dst.Kind == isa.OpdReg {
+			v := in.Dst.Reg
+			if v.Class == isa.RegGPR && (v.Index == isa.ZeroReg || v.Index == isa.SinkReg) {
+				// Sink writes hold no state.
+			} else if prev, exists := pending[key(v)]; exists {
+				dead[prev] = true
+				delete(pending, key(v))
+			}
+		}
+	}
+
+	// Writes never read before thread exit are dead too.
+	for _, i := range pending {
+		dead[i] = true
+	}
+	return dead
+}
+
+// regKey is a comparable register identity.
+type regKey struct {
+	class isa.RegClass
+	index uint8
+}
+
+func key(r isa.Reg) regKey { return regKey{class: r.Class, index: r.Index} }

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/ptx"
+)
+
+func TestDeadWritesSynthetic(t *testing.T) {
+	prog := ptx.MustAssemble("dw", `
+		mov.u32 $r1, 1                 // 0: dead (overwritten at 1)
+		mov.u32 $r1, 2                 // 1: live (read at 2)
+		add.u32 $r2, $r1, 3            // 2: live (stored at 4)
+		mov.u32 $r3, 4                 // 3: dead (never read, thread exits)
+		st.global.u32 [0x0000], $r2    // 4: no destination
+		set.eq.u32.u32 $p0/$o127, $r2, $r2 // 5: live (guard reads $p0)
+		@$p0.ne bra lend               // 6
+		lend: set.ne.u32.u32 $p1/$o127, $r2, $r2 // 7: dead (pred never read)
+		exit                           // 8
+	`)
+	pcs := make([]uint16, 0, 9)
+	for pc := 0; pc < 9; pc++ {
+		entry := uint16(pc)
+		if in := &prog.Instrs[pc]; in.Op.HasDest() && in.Dst.Kind != 0 {
+			if _, _, ok := in.DestReg(); ok {
+				entry |= gpusim.WroteBit
+			}
+		}
+		pcs = append(pcs, entry)
+	}
+	dead := DeadWrites(prog, pcs)
+	want := map[int]bool{0: true, 1: false, 2: false, 3: true, 5: false, 7: true}
+	for i, wantDead := range want {
+		if dead[i] != wantDead {
+			t.Errorf("instruction %d dead=%v, want %v", i, dead[i], wantDead)
+		}
+	}
+}
+
+func TestDeadWritesReadThroughMemoryBase(t *testing.T) {
+	// A register used only as a load/store address base is a read.
+	prog := ptx.MustAssemble("mb", `
+		mov.u32 $r1, 4                 // 0: live (base of load at 1)
+		ld.global.u32 $r2, [$r1]       // 1: live (stored at 2)
+		st.global.u32 [$r1], $r2       // 2: reads both
+		exit
+	`)
+	pcs := []uint16{0 | gpusim.WroteBit, 1 | gpusim.WroteBit, 2, 3}
+	dead := DeadWrites(prog, pcs)
+	if dead[0] || dead[1] {
+		t.Fatalf("memory-base reads not honored: %v", dead)
+	}
+}
+
+func TestDeadWritesLoopCarried(t *testing.T) {
+	// The loop counter is read by its own increment and the exit test:
+	// every write but the last is live; the final increment's value is
+	// consumed by the final set, whose predicate is consumed by the final
+	// (untaken) branch — only nothing remains pending.
+	prog := ptx.MustAssemble("lc", `
+		mov.u32 $r1, $r124
+		lloop: add.u32 $r1, $r1, 0x00000001
+		set.lt.u32.u32 $p0/$o127, $r1, 0x00000003
+		@$p0.ne bra lloop
+		exit
+	`)
+	// Dynamic trace for 3 iterations.
+	var pcs []uint16
+	pcs = append(pcs, 0|gpusim.WroteBit)
+	for it := 0; it < 3; it++ {
+		pcs = append(pcs, 1|gpusim.WroteBit, 2|gpusim.WroteBit, 3)
+	}
+	pcs = append(pcs, 4)
+	dead := DeadWrites(prog, pcs)
+	for i, d := range dead {
+		if d {
+			t.Fatalf("loop-carried value at dyn %d marked dead", i)
+		}
+	}
+}

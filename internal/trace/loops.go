@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/gpusim"
+)
+
+// LoopTag annotates one dynamic instruction with its loop context.
+// Instructions outside any loop carry Loop == -1.
+type LoopTag struct {
+	// Loop identifies the innermost enclosing loop as the static PC of the
+	// loop head (the back-edge target); -1 outside loops.
+	Loop int
+	// Iter is the 0-based iteration index of that loop at this instruction.
+	// Iterations accumulate across re-entries, so sampling "iteration k"
+	// is well defined even for loops nested in other loops.
+	Iter int
+}
+
+// InLoop reports whether the instruction executed inside a loop body.
+func (t LoopTag) InLoop() bool { return t.Loop >= 0 }
+
+// loopRange is a detected static loop: the PC range [Head, End] spanned by a
+// back edge End -> Head.
+type loopRange struct {
+	head, end int
+}
+
+// detectLoops finds loop ranges from a thread's dynamic PC sequence: every
+// backward control transfer (PC non-increasing between consecutive retired
+// instructions) is a back edge whose target is a loop head. Ranges with the
+// same head merge to their widest extent.
+func detectLoops(pcs []uint16) []loopRange {
+	byHead := make(map[int]int) // head -> max end
+	for i := 1; i < len(pcs); i++ {
+		pc, prev := gpusim.PC(pcs[i]), gpusim.PC(pcs[i-1])
+		if pc <= prev {
+			if e, ok := byHead[pc]; !ok || prev > e {
+				byHead[pc] = prev
+			}
+		}
+	}
+	loops := make([]loopRange, 0, len(byHead))
+	for h, e := range byHead {
+		loops = append(loops, loopRange{head: h, end: e})
+	}
+	// Innermost-first: ascending range size, ties by head.
+	sort.Slice(loops, func(i, j int) bool {
+		si, sj := loops[i].end-loops[i].head, loops[j].end-loops[j].head
+		if si != sj {
+			return si < sj
+		}
+		return loops[i].head < loops[j].head
+	})
+	return loops
+}
+
+// AnnotateLoops tags every dynamic instruction of a thread trace with its
+// innermost loop and iteration index.
+//
+// Detection is dynamic and two-pass. Pass one finds loop ranges from back
+// edges. Pass two counts iterations: entering a loop's PC range from outside
+// starts a new iteration (so the first trip, before any back edge, counts as
+// iteration 0), and arriving at the head via a back edge advances to the
+// next. The innermost (smallest-range) loop containing the PC claims the
+// instruction, matching how the paper samples loop iterations in a thread.
+func AnnotateLoops(pcs []uint16) []LoopTag {
+	tags := make([]LoopTag, len(pcs))
+	loops := detectLoops(pcs)
+	if len(loops) == 0 {
+		for i := range tags {
+			tags[i].Loop = -1
+		}
+		return tags
+	}
+	type state struct {
+		iter   int
+		inside bool
+	}
+	st := make([]state, len(loops))
+	for i := range st {
+		st[i].iter = -1
+	}
+	for i := range pcs {
+		pc := gpusim.PC(pcs[i])
+		prev := -1
+		if i > 0 {
+			prev = gpusim.PC(pcs[i-1])
+		}
+		tags[i] = LoopTag{Loop: -1}
+		for k := range loops {
+			l := loops[k]
+			in := pc >= l.head && pc <= l.end
+			if !in {
+				st[k].inside = false
+				continue
+			}
+			if !st[k].inside {
+				st[k].iter++ // fresh entry opens a new iteration
+			} else if pc == l.head && prev >= pc {
+				st[k].iter++ // back edge taken
+			}
+			st[k].inside = true
+			if tags[i].Loop == -1 { // loops are innermost-first
+				tags[i] = LoopTag{Loop: l.head, Iter: st[k].iter}
+			}
+		}
+	}
+	return tags
+}
+
+// LoopSummary aggregates a thread's loop structure.
+type LoopSummary struct {
+	// TotalIters is the total number of loop iterations executed (summed
+	// over loops), the paper's Table VII "# Loop Iter." metric.
+	TotalIters int
+	// MaxIters is the iteration count of the busiest loop.
+	MaxIters int
+	// InLoopInstrs counts dynamic instructions inside loop bodies.
+	InLoopInstrs int64
+	// Instrs is the thread's total dynamic instruction count.
+	Instrs int64
+	// Loops is the number of distinct loops (by head PC).
+	Loops int
+}
+
+// PctInLoop is the percentage of dynamic instructions inside loops
+// (Table VII "% Insn. in Loop").
+func (s LoopSummary) PctInLoop() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return 100 * float64(s.InLoopInstrs) / float64(s.Instrs)
+}
+
+// SummarizeLoops computes the loop summary of one thread trace.
+func SummarizeLoops(pcs []uint16) LoopSummary {
+	tags := AnnotateLoops(pcs)
+	var s LoopSummary
+	s.Instrs = int64(len(pcs))
+	iters := make(map[int]int)
+	for i := range tags {
+		if !tags[i].InLoop() {
+			continue
+		}
+		s.InLoopInstrs++
+		if n := tags[i].Iter + 1; n > iters[tags[i].Loop] {
+			iters[tags[i].Loop] = n
+		}
+	}
+	s.Loops = len(iters)
+	for _, n := range iters {
+		s.TotalIters += n
+		if n > s.MaxIters {
+			s.MaxIters = n
+		}
+	}
+	return s
+}
