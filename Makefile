@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the headline benchmark: catches gross regressions and
+# panics in the campaign engine without a full benchmark run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkTable2 -benchtime 1x .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 3x -benchmem .

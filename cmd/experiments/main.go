@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/kernels"
 )
 
@@ -44,6 +45,7 @@ func main() {
 	par := flag.Int("par", 0, "campaign parallelism (0 = GOMAXPROCS)")
 	outPath := flag.String("out", "", "also append the reports to this file")
 	kernelFilter := flag.String("kernels", "", "comma-separated kernel subset (default: the paper's full set)")
+	showStats := flag.Bool("stats", false, "report per-experiment campaign stats (runs, rate, COW pages, pool size)")
 	flag.Parse()
 
 	if *list {
@@ -106,10 +108,16 @@ func main() {
 
 	for _, e := range selected {
 		start := time.Now()
+		if *showStats {
+			cfg.Stats = &fault.StatsSink{}
+		}
 		fmt.Fprintf(out, "=== %s: %s ===\n", e.ID, e.Title)
 		if err := e.Run(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
+		}
+		if *showStats {
+			fmt.Fprintf(out, "campaign stats: %s\n", cfg.Stats.Total())
 		}
 		fmt.Fprintf(out, "--- %s done in %v ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}

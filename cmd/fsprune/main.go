@@ -35,10 +35,20 @@ func main() {
 	loopIters := flag.Int("loop-iters", 0, "sampled loop iterations (0 = default, <0 = disable)")
 	autoLoop := flag.Bool("auto-loop", false, "pick the loop sample size adaptively (paper Section III-D)")
 	bitSamples := flag.Int("bit-samples", 0, "sampled bit positions per register (0 = default, <0 = all)")
+	flag.IntVar(bitSamples, "bits", 0, "alias for -bit-samples")
 	margin := flag.Float64("margin", 0.03, "target error margin for -action baseline (adaptive)")
 	deadPrune := flag.Bool("dead", false, "enable the dead-destination extension stage")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	showStats := flag.Bool("stats", false, "report campaign execution stats (runs, rate, COW pages, pool size)")
 	flag.Parse()
+
+	var sink *fault.StatsSink
+	if *showStats {
+		sink = &fault.StatsSink{}
+	}
+	campaign := func() fault.CampaignOptions {
+		return fault.CampaignOptions{Parallelism: *par, Sink: sink}
+	}
 
 	if *list {
 		for _, s := range kernels.All() {
@@ -99,7 +109,7 @@ func main() {
 		if *autoLoop {
 			auto, err := core.AutoLoopIters(inst.Target, core.AutoLoopOptions{
 				Base:     core.Options{Seed: *seed, BitSamples: *bitSamples},
-				Campaign: fault.CampaignOptions{Parallelism: *par},
+				Campaign: campaign(),
 			})
 			fatal(err)
 			iters = auto.Iters
@@ -124,29 +134,41 @@ func main() {
 		if !*asJSON {
 			fmt.Println(plan)
 		}
-		est, err := plan.Estimate(fault.CampaignOptions{Parallelism: *par})
+		estRes, err := plan.EstimateResult(campaign())
 		fatal(err)
+		est := estRes.Dist
 		rng := stats.NewRNG(*seed).Split("baseline")
 		sites := space.Random(rng, *baseline)
-		res, err := fault.Run(inst.Target, fault.Uniform(sites), fault.CampaignOptions{Parallelism: *par})
+		res, err := fault.Run(inst.Target, fault.Uniform(sites), campaign())
 		fatal(err)
 		if *asJSON {
-			fatal(report.Write(os.Stdout, report.NewEstimate(plan, est, &res.Dist)))
+			var cs *fault.CampaignStats
+			if *showStats {
+				cs = &estRes.Stats
+			}
+			fatal(report.Write(os.Stdout, report.NewEstimate(plan, est, &res.Dist, cs)))
 			return
 		}
 		fmt.Printf("pruned estimate:  %s\n", est)
 		fmt.Printf("random baseline:  %s\n", res.Dist)
 		fmt.Printf("max class delta:  %.2f pp\n", est.MaxClassDelta(res.Dist))
+		if *showStats {
+			fmt.Printf("pruned campaign:  %s\n", estRes.Stats)
+			fmt.Printf("all campaigns:    %s\n", sink.Total())
+		}
 
 	case "baseline":
 		res, err := bl.Adaptive(inst.Target, bl.Options{
 			Margin:   *margin,
 			MaxRuns:  *baseline,
 			Seed:     *seed,
-			Campaign: fault.CampaignOptions{Parallelism: *par},
+			Campaign: campaign(),
 		})
 		fatal(err)
 		fmt.Printf("adaptive random baseline: %s\n", res)
+		if *showStats {
+			fmt.Printf("campaign stats: %s\n", res.Stats)
+		}
 
 	default:
 		fmt.Fprintf(os.Stderr, "unknown action %q\n", *action)

@@ -58,6 +58,9 @@ type Result struct {
 	// Planned is the Eq. 2 sample size for the requested targets, for
 	// comparison with the adaptively achieved Runs.
 	Planned int64
+	// Stats aggregates the campaign execution stats (all batches for an
+	// adaptive campaign).
+	Stats fault.CampaignStats
 }
 
 // classMargins computes the per-class Wilson half-widths of a distribution
@@ -96,6 +99,7 @@ func Fixed(t *fault.Target, opt Options) (*Result, error) {
 		Runs:    int(runs),
 		Margins: classMargins(res.Dist, opt.confidence()),
 		Planned: planned,
+		Stats:   res.Stats,
 	}, nil
 }
 
@@ -135,6 +139,7 @@ func Adaptive(t *fault.Target, opt Options) (*Result, error) {
 			return nil, err
 		}
 		out.Dist.Merge(res.Dist)
+		out.Stats.Merge(res.Stats)
 		out.Runs += n
 
 		out.Margins = classMargins(out.Dist, opt.confidence())

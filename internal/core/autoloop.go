@@ -12,6 +12,9 @@ type AutoLoopResult struct {
 	Iters int
 	// Steps holds the estimated profile at each tried sample size.
 	Steps []fault.Dist
+	// Stats aggregates the campaign stats of every step's estimation run —
+	// the total injection cost of the search.
+	Stats fault.CampaignStats
 }
 
 // AutoLoopOptions tunes AutoLoopIters.
@@ -74,10 +77,12 @@ func AutoLoopIters(t *fault.Target, opt AutoLoopOptions) (*AutoLoopResult, error
 		if err != nil {
 			return nil, fmt.Errorf("core: auto loop at %d iterations: %w", n, err)
 		}
-		d, err := plan.Estimate(opt.Campaign)
+		cr, err := plan.EstimateResult(opt.Campaign)
 		if err != nil {
 			return nil, fmt.Errorf("core: auto loop at %d iterations: %w", n, err)
 		}
+		d := cr.Dist
+		res.Stats.Merge(cr.Stats)
 		res.Steps = append(res.Steps, d)
 		if n > 1 && d.MaxClassDelta(prev) <= stablePP {
 			stable++

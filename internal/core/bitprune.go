@@ -8,26 +8,39 @@ import (
 	"repro/internal/trace"
 )
 
-// BitPositions returns the sampled bit positions for a register width under
-// the paper's scheme (Section III-E): the register is divided into equal
-// sections and one equally spaced position is taken per slot, e.g. 8 samples
-// of a 32-bit register select {3, 7, 11, 15, 19, 23, 27, 31}. samples <= 0 or
-// >= width keeps every position.
-func BitPositions(width, samples int) []int {
+// BitPositionsChecked returns the sampled bit positions for a register width
+// under the paper's scheme (Section III-E): the register is divided into
+// equal sections and one equally spaced position is taken per slot, e.g. 8
+// samples of a 32-bit register select {3, 7, 11, 15, 19, 23, 27, 31}.
+// samples <= 0 or >= width keeps every position. A sample count that does
+// not divide the width has no equal-section interpretation and is rejected.
+func BitPositionsChecked(width, samples int) ([]int, error) {
 	if samples <= 0 || samples >= width {
 		out := make([]int, width)
 		for i := range out {
 			out[i] = i
 		}
-		return out
+		return out, nil
 	}
 	if width%samples != 0 {
-		panic(fmt.Sprintf("core: %d bit samples do not divide width %d", samples, width))
+		return nil, fmt.Errorf("core: %d bit samples do not divide width %d (valid: divisors of %d, or 0 for all)",
+			samples, width, width)
 	}
 	step := width / samples
 	out := make([]int, samples)
 	for j := range out {
 		out[j] = (j+1)*step - 1
+	}
+	return out, nil
+}
+
+// BitPositions is BitPositionsChecked for callers that have already
+// validated the sample count; it panics on a non-divisor. User-facing paths
+// (BuildPlan) use the checked form and surface a plain error instead.
+func BitPositions(width, samples int) []int {
+	out, err := BitPositionsChecked(width, samples)
+	if err != nil {
+		panic(err.Error())
 	}
 	return out
 }
@@ -51,7 +64,9 @@ type BitPruneResult struct {
 // overflow flags never feed branch conditions in the studied workloads, so
 // their sites are pruned as known-masked and their weight is returned in
 // knownMasked for the estimator to credit to the masked class directly.
-func expandBits(prof *trace.Profile, sels []*selection, bitSamples int) (sites []fault.WeightedSite, knownMasked float64, res BitPruneResult) {
+// keepPred disables that rule (the ablation quantifying what it saves):
+// every predicate flag bit then becomes an injection site.
+func expandBits(prof *trace.Profile, sels []*selection, bitSamples int, keepPred bool) (sites []fault.WeightedSite, knownMasked float64, res BitPruneResult, err error) {
 	res.Samples = bitSamples
 	for _, s := range sels {
 		tp := &prof.Threads[s.thread]
@@ -65,54 +80,27 @@ func expandBits(prof *trace.Profile, sels []*selection, bitSamples int) (sites [
 				continue
 			}
 			if bits == isa.PredBits {
-				sites = append(sites, fault.WeightedSite{
-					Site:   fault.Site{Thread: s.thread, DynInst: i, Bit: 0},
-					Weight: w,
-				})
-				knownMasked += w * float64(isa.PredBits-1)
-				res.PredPruned += int64(isa.PredBits - 1)
-				continue
-			}
-			pos := BitPositions(bits, bitSamples)
-			perBit := w * float64(bits) / float64(len(pos))
-			for _, b := range pos {
-				sites = append(sites, fault.WeightedSite{
-					Site:   fault.Site{Thread: s.thread, DynInst: i, Bit: b},
-					Weight: perBit,
-				})
-			}
-			res.GPRPruned += int64(bits - len(pos))
-		}
-	}
-	return sites, knownMasked, res
-}
-
-// expandBitsKeepPred is expandBits with predicate-flag pruning disabled:
-// every predicate bit becomes an injection site. Used by the ablation that
-// quantifies what the analytic .pred rule saves.
-func expandBitsKeepPred(prof *trace.Profile, sels []*selection, bitSamples int) (sites []fault.WeightedSite, knownMasked float64, res BitPruneResult) {
-	res.Samples = bitSamples
-	for _, s := range sels {
-		tp := &prof.Threads[s.thread]
-		for i := int64(0); i < tp.ICnt; i++ {
-			w := s.weight[i]
-			if w == 0 {
-				continue
-			}
-			bits := prof.SiteBitsOf(s.thread, i)
-			if bits == 0 {
-				continue
-			}
-			if bits == isa.PredBits {
-				for b := 0; b < bits; b++ {
+				if keepPred {
+					for b := 0; b < bits; b++ {
+						sites = append(sites, fault.WeightedSite{
+							Site:   fault.Site{Thread: s.thread, DynInst: i, Bit: b},
+							Weight: w,
+						})
+					}
+				} else {
 					sites = append(sites, fault.WeightedSite{
-						Site:   fault.Site{Thread: s.thread, DynInst: i, Bit: b},
+						Site:   fault.Site{Thread: s.thread, DynInst: i, Bit: 0},
 						Weight: w,
 					})
+					knownMasked += w * float64(isa.PredBits-1)
+					res.PredPruned += int64(isa.PredBits - 1)
 				}
 				continue
 			}
-			pos := BitPositions(bits, bitSamples)
+			pos, perr := BitPositionsChecked(bits, bitSamples)
+			if perr != nil {
+				return nil, 0, res, perr
+			}
 			perBit := w * float64(bits) / float64(len(pos))
 			for _, b := range pos {
 				sites = append(sites, fault.WeightedSite{
@@ -123,5 +111,5 @@ func expandBitsKeepPred(prof *trace.Profile, sels []*selection, bitSamples int) 
 			res.GPRPruned += int64(bits - len(pos))
 		}
 	}
-	return sites, knownMasked, res
+	return sites, knownMasked, res, nil
 }

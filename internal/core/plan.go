@@ -133,10 +133,10 @@ func BuildPlan(t *fault.Target, opt Options) (*Plan, error) {
 	if bitSamples < 0 {
 		bitSamples = 0 // keep all positions
 	}
-	if opt.DisablePredPrune {
-		p.Sites, p.KnownMasked, p.BitPrune = expandBitsKeepPred(prof, sels, bitSamples)
-	} else {
-		p.Sites, p.KnownMasked, p.BitPrune = expandBits(prof, sels, bitSamples)
+	var expandErr error
+	p.Sites, p.KnownMasked, p.BitPrune, expandErr = expandBits(prof, sels, bitSamples, opt.DisablePredPrune)
+	if expandErr != nil {
+		return nil, expandErr
 	}
 	p.KnownMasked += deadMasked
 	p.Stages.Bit = int64(len(p.Sites))
@@ -172,16 +172,26 @@ func (p *Plan) TotalWeight() float64 {
 	return w
 }
 
-// Estimate runs the plan's injection experiments and returns the estimated
-// error resilience profile of the full fault-site population.
-func (p *Plan) Estimate(opt fault.CampaignOptions) (fault.Dist, error) {
+// EstimateResult runs the plan's injection experiments and returns the full
+// campaign result — the estimated error resilience profile of the complete
+// fault-site population (analytically pruned weight credited to the masked
+// class) plus the campaign's execution stats.
+func (p *Plan) EstimateResult(opt fault.CampaignOptions) (*fault.CampaignResult, error) {
 	res, err := fault.Run(p.Target, p.Sites, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Dist.W[fault.Masked] += p.KnownMasked
+	return res, nil
+}
+
+// Estimate is EstimateResult reduced to the estimated profile.
+func (p *Plan) Estimate(opt fault.CampaignOptions) (fault.Dist, error) {
+	res, err := p.EstimateResult(opt)
 	if err != nil {
 		return fault.Dist{}, err
 	}
-	d := res.Dist
-	d.W[fault.Masked] += p.KnownMasked
-	return d, nil
+	return res.Dist, nil
 }
 
 // Reduction reports the overall fault-site reduction factor achieved.

@@ -32,6 +32,9 @@ type Config struct {
 	// Kernels restricts multi-kernel experiments (Tables I, VI, VII,
 	// Figs. 6, 9, 10) to the named subset; nil runs the paper's full set.
 	Kernels []string
+	// Stats, when non-nil, accumulates campaign execution stats across
+	// every injection campaign the experiment runs.
+	Stats *fault.StatsSink
 }
 
 // DefaultBaselineRuns is the default random-baseline campaign size. The
@@ -54,7 +57,7 @@ func (c Config) baselineRuns() int {
 }
 
 func (c Config) campaign() fault.CampaignOptions {
-	return fault.CampaignOptions{Parallelism: c.Parallelism}
+	return fault.CampaignOptions{Parallelism: c.Parallelism, Sink: c.Stats}
 }
 
 // selectKernels filters a kernel list by the config's subset.

@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gpusim"
 )
 
 // WeightedSite pairs a fault site with the population weight it represents.
@@ -43,6 +47,70 @@ func Dedup(sites []WeightedSite) []WeightedSite {
 	return out
 }
 
+// CampaignStats is the observability block of one campaign: how much work
+// ran, how fast, and what the pooled copy-on-write device layer cost.
+type CampaignStats struct {
+	// Runs is the number of injection experiments executed (including a
+	// failing one, excluding sites skipped after cancellation).
+	Runs int64
+	// Wall is the elapsed wall-clock time of the campaign.
+	Wall time.Duration
+	// RunsPerSec is Runs divided by Wall (outcomes per second).
+	RunsPerSec float64
+	// PagesCopied counts global-memory page copies performed by the
+	// copy-on-write device layer (first-store privatizations plus
+	// pristine-reset restores) across all pooled devices.
+	PagesCopied int64
+	// PeakPool is the number of pristine device clones the campaign
+	// materialized: at least the number of concurrently active workers,
+	// more when the GC dropped pooled devices between runs.
+	PeakPool int
+}
+
+// Merge accumulates another campaign's stats: counters add, wall times add
+// (campaigns in one pipeline run back to back), pool high-water marks take
+// the max, and the rate is recomputed.
+func (s *CampaignStats) Merge(o CampaignStats) {
+	s.Runs += o.Runs
+	s.Wall += o.Wall
+	s.PagesCopied += o.PagesCopied
+	if o.PeakPool > s.PeakPool {
+		s.PeakPool = o.PeakPool
+	}
+	s.RunsPerSec = 0
+	if s.Wall > 0 {
+		s.RunsPerSec = float64(s.Runs) / s.Wall.Seconds()
+	}
+}
+
+// String renders the stats for CLI -stats output.
+func (s CampaignStats) String() string {
+	return fmt.Sprintf("%d runs in %v (%.0f/s), %d pages copied, pool %d",
+		s.Runs, s.Wall.Round(time.Millisecond), s.RunsPerSec, s.PagesCopied, s.PeakPool)
+}
+
+// StatsSink accumulates campaign stats across several fault.Run calls —
+// e.g. every campaign of a pruning pipeline or experiment sweep. Safe for
+// concurrent use. Attach via CampaignOptions.Sink.
+type StatsSink struct {
+	mu    sync.Mutex
+	total CampaignStats
+}
+
+// Add merges one campaign's stats into the sink.
+func (k *StatsSink) Add(s CampaignStats) {
+	k.mu.Lock()
+	k.total.Merge(s)
+	k.mu.Unlock()
+}
+
+// Total returns the accumulated stats.
+func (k *StatsSink) Total() CampaignStats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.total
+}
+
 // CampaignResult is the aggregate of an injection campaign.
 type CampaignResult struct {
 	// Dist is the weighted outcome distribution (the resilience profile).
@@ -50,6 +118,8 @@ type CampaignResult struct {
 	// PerSite, when requested, holds the outcome of each injected site in
 	// input order.
 	PerSite []Outcome
+	// Stats describes the campaign's execution.
+	Stats CampaignStats
 }
 
 // CampaignOptions tunes Run.
@@ -58,19 +128,92 @@ type CampaignOptions struct {
 	Parallelism int
 	// KeepPerSite retains each site's individual outcome.
 	KeepPerSite bool
+	// Sink, when non-nil, additionally accumulates this campaign's stats
+	// (also on error, so cancelled campaigns stay visible).
+	Sink *StatsSink
+}
+
+// devicePool hands out reusable pristine-state devices to campaign workers.
+// Devices are copy-on-write clones of the pristine image; put resets a
+// device by restoring only the pages its run dirtied, so steady-state cost
+// per experiment is proportional to the run's write set, not the device
+// footprint.
+type devicePool struct {
+	pristine *gpusim.Device
+	pool     sync.Pool
+	created  atomic.Int64
+	pages    atomic.Int64
+}
+
+func newDevicePool(pristine *gpusim.Device) *devicePool {
+	p := &devicePool{pristine: pristine}
+	// Freeze the pristine image now: Clone below may run concurrently from
+	// several workers, and freezing is only write-free once already frozen.
+	p.pool.New = func() any {
+		p.created.Add(1)
+		return p.pristine.Clone()
+	}
+	pristine.Clone() // freeze eagerly; the throwaway clone is trivially small
+	return p
+}
+
+func (p *devicePool) get() *gpusim.Device { return p.pool.Get().(*gpusim.Device) }
+
+// put restores the device to pristine content and returns it to the pool,
+// harvesting its page-copy counter. Safe after trapped or failed runs: reset
+// is driven by the dirty-page list, so poisoned state cannot leak into the
+// next experiment.
+func (p *devicePool) put(d *gpusim.Device) {
+	d.ResetFrom(p.pristine)
+	p.pages.Add(d.TakePagesCopied())
+	p.pool.Put(d)
 }
 
 // Run executes one fault-injection experiment per weighted site, in
 // parallel, and aggregates the weighted outcome distribution. The target
-// must be Prepared. Every experiment clones the pristine device, so runs
-// are independent and the aggregation is deterministic regardless of
-// scheduling.
+// must be Prepared. Workers draw reusable copy-on-write devices from a pool
+// and reset them between experiments, so runs are independent and the
+// aggregation is deterministic regardless of scheduling. A site error
+// cancels the remaining campaign promptly and Run returns the error of the
+// lowest-index failing site, independent of scheduling.
 func Run(t *Target, sites []WeightedSite, opt CampaignOptions) (*CampaignResult, error) {
-	return runWith(sites, opt, t.RunSite)
+	return t.runCampaign(sites, opt, (*Target).RunSiteOn)
 }
 
-// runWith is the shared parallel campaign engine; runSite evaluates one site.
-func runWith(sites []WeightedSite, opt CampaignOptions, runSite func(Site) (Outcome, error)) (*CampaignResult, error) {
+// runCampaign wires a per-device site runner to the parallel engine through
+// a device pool, and finalizes stats.
+func (t *Target) runCampaign(sites []WeightedSite, opt CampaignOptions,
+	runOn func(*Target, *gpusim.Device, Site) (Outcome, error)) (*CampaignResult, error) {
+
+	pool := newDevicePool(t.Init)
+	res, st, err := runWith(sites, opt, func(s Site) (Outcome, error) {
+		dev := pool.get()
+		o, rerr := runOn(t, dev, s)
+		pool.put(dev)
+		return o, rerr
+	})
+	st.PagesCopied = pool.pages.Load()
+	st.PeakPool = int(pool.created.Load())
+	if opt.Sink != nil {
+		opt.Sink.Add(st)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = st
+	return res, nil
+}
+
+// runWith is the shared parallel campaign engine; runSite evaluates one
+// site. Work is handed out in batches from a shared cursor. The first site
+// error cancels the campaign: the batch cursor stops short of the failing
+// index, in-flight workers skip sites at or beyond it, and — because the
+// error index only ever decreases and every site below it is still executed
+// — the returned error is the one of the lowest-index failing site
+// regardless of goroutine scheduling.
+func runWith(sites []WeightedSite, opt CampaignOptions,
+	runSite func(Site) (Outcome, error)) (*CampaignResult, CampaignStats, error) {
+
 	workers := opt.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -79,19 +222,41 @@ func runWith(sites []WeightedSite, opt CampaignOptions, runSite func(Site) (Outc
 		workers = len(sites)
 	}
 	if len(sites) == 0 {
-		return &CampaignResult{}, nil
+		return &CampaignResult{}, CampaignStats{}, nil
 	}
 
+	start := time.Now()
 	outcomes := make([]Outcome, len(sites))
-	errs := make([]error, workers)
+	var runs atomic.Int64
+
+	// Cancellation state: errLimit is len(sites) while healthy, and drops
+	// to the lowest failing index seen so far. firstErr tracks the error
+	// belonging to the current errLimit.
+	var errLimit atomic.Int64
+	errLimit.Store(int64(len(sites)))
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(i int, err error) {
+		errMu.Lock()
+		if int64(i) < errLimit.Load() {
+			errLimit.Store(int64(i))
+			firstErr = fmt.Errorf("site %v: %w", sites[i].Site, err)
+		}
+		errMu.Unlock()
+	}
+
 	var next int64
 	var mu sync.Mutex
 	takeBatch := func() (lo, hi int) {
 		const batch = 16
+		limit := int(errLimit.Load())
+		if limit > len(sites) {
+			limit = len(sites)
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		lo = int(next)
-		if lo >= len(sites) {
+		if lo >= limit {
 			return 0, 0
 		}
 		hi = lo + batch
@@ -105,7 +270,7 @@ func runWith(sites []WeightedSite, opt CampaignOptions, runSite func(Site) (Outc
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
 			for {
 				lo, hi := takeBatch()
@@ -113,21 +278,28 @@ func runWith(sites []WeightedSite, opt CampaignOptions, runSite func(Site) (Outc
 					return
 				}
 				for i := lo; i < hi; i++ {
+					if int64(i) >= errLimit.Load() {
+						break
+					}
 					o, err := runSite(sites[i].Site)
+					runs.Add(1)
 					if err != nil {
-						errs[w] = fmt.Errorf("site %v: %w", sites[i].Site, err)
-						return
+						fail(i, err)
+						break
 					}
 					outcomes[i] = o
 				}
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+
+	st := CampaignStats{Runs: runs.Load(), Wall: time.Since(start)}
+	if st.Wall > 0 {
+		st.RunsPerSec = float64(st.Runs) / st.Wall.Seconds()
+	}
+	if errLimit.Load() < int64(len(sites)) {
+		return nil, st, firstErr
 	}
 
 	res := &CampaignResult{}
@@ -137,5 +309,5 @@ func runWith(sites []WeightedSite, opt CampaignOptions, runSite func(Site) (Outc
 	if opt.KeepPerSite {
 		res.PerSite = outcomes
 	}
-	return res, nil
+	return res, st, nil
 }

@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSites builds n weighted sites whose Thread field encodes the index, so
+// a runSite stub can recover it.
+func fakeSites(n int) []WeightedSite {
+	sites := make([]WeightedSite, n)
+	for i := range sites {
+		sites[i] = WeightedSite{Site: Site{Thread: i}, Weight: 1}
+	}
+	return sites
+}
+
+// TestRunWithDeterministicLowestError: whichever worker hits an error first,
+// runWith must report the error of the lowest-index failing site. The old
+// engine reported whichever failing site a worker saw first, which varied
+// with scheduling.
+func TestRunWithDeterministicLowestError(t *testing.T) {
+	const n = 400
+	failAt := map[int]error{
+		41:  errors.New("fail-41"),
+		42:  errors.New("fail-42"),
+		350: errors.New("fail-350"),
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		for trial := 0; trial < 5; trial++ {
+			_, _, err := runWith(fakeSites(n), CampaignOptions{Parallelism: par},
+				func(s Site) (Outcome, error) {
+					if e, ok := failAt[s.Thread]; ok {
+						return 0, e
+					}
+					return Masked, nil
+				})
+			if err == nil {
+				t.Fatalf("par %d: error swallowed", par)
+			}
+			if !errors.Is(err, failAt[41]) {
+				t.Fatalf("par %d trial %d: got %v, want the site-41 error", par, trial, err)
+			}
+		}
+	}
+}
+
+// TestRunWithErrorMessageNamesSite: the reported error wraps the failing
+// site's identity.
+func TestRunWithErrorMessageNamesSite(t *testing.T) {
+	sentinel := errors.New("boom")
+	sites := fakeSites(50)
+	_, _, err := runWith(sites, CampaignOptions{Parallelism: 2},
+		func(s Site) (Outcome, error) {
+			if s.Thread == 17 {
+				return 0, sentinel
+			}
+			return Masked, nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("sentinel lost: %v", err)
+	}
+	if want := fmt.Sprintf("site %v", sites[17].Site); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name %q", err, want)
+	}
+}
+
+// TestRunWithCancelsPromptly: after the first error, remaining sites must be
+// skipped instead of drained. With the error near the front of a large
+// campaign, the executed count must stay far below the total; the old engine
+// let every already-queued site run to completion.
+func TestRunWithCancelsPromptly(t *testing.T) {
+	const n = 3000
+	const failIdx = 5
+	var executed atomic.Int64
+	_, st, err := runWith(fakeSites(n), CampaignOptions{Parallelism: 4},
+		func(s Site) (Outcome, error) {
+			executed.Add(1)
+			if s.Thread == failIdx {
+				return 0, errors.New("early failure")
+			}
+			time.Sleep(20 * time.Microsecond)
+			return Masked, nil
+		})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if got := executed.Load(); got > n/2 {
+		t.Fatalf("executed %d of %d sites after an early error", got, n)
+	}
+	if st.Runs != executed.Load() {
+		t.Fatalf("stats counted %d runs, executed %d", st.Runs, executed.Load())
+	}
+}
+
+// TestRunWithExecutesEverySiteBelowError: the determinism guarantee rests on
+// every site below the final error index having been executed — verify the
+// engine upholds it.
+func TestRunWithExecutesEverySiteBelowError(t *testing.T) {
+	const n = 500
+	const failIdx = 321
+	seen := make([]atomic.Bool, n)
+	_, _, err := runWith(fakeSites(n), CampaignOptions{Parallelism: 8},
+		func(s Site) (Outcome, error) {
+			seen[s.Thread].Store(true)
+			if s.Thread == failIdx {
+				return 0, errors.New("late failure")
+			}
+			return Masked, nil
+		})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	for i := 0; i < failIdx; i++ {
+		if !seen[i].Load() {
+			t.Fatalf("site %d below the failing index was never executed", i)
+		}
+	}
+}
+
+// TestRunWithStats: a clean run reports one executed run per site and a
+// consistent rate.
+func TestRunWithStats(t *testing.T) {
+	const n = 64
+	res, st, err := runWith(fakeSites(n), CampaignOptions{Parallelism: 3},
+		func(s Site) (Outcome, error) { return SDC, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != n {
+		t.Fatalf("runs = %d, want %d", st.Runs, n)
+	}
+	if st.Wall <= 0 || st.RunsPerSec <= 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	if res.Dist.Total() != n {
+		t.Fatalf("dist total = %v", res.Dist.Total())
+	}
+}
+
+// TestStatsSinkMerge: sinks accumulate across campaigns and keep the pool
+// high-water mark as a max.
+func TestStatsSinkMerge(t *testing.T) {
+	var sink StatsSink
+	sink.Add(CampaignStats{Runs: 10, Wall: time.Second, PagesCopied: 4, PeakPool: 2})
+	sink.Add(CampaignStats{Runs: 30, Wall: time.Second, PagesCopied: 1, PeakPool: 5})
+	got := sink.Total()
+	if got.Runs != 40 || got.Wall != 2*time.Second || got.PagesCopied != 5 || got.PeakPool != 5 {
+		t.Fatalf("merged: %+v", got)
+	}
+	if got.RunsPerSec != 20 {
+		t.Fatalf("rate = %v, want 20", got.RunsPerSec)
+	}
+	if got.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}

@@ -1,7 +1,6 @@
 package fault
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 
@@ -69,44 +68,64 @@ func touchesMemory(in *isa.Instruction) bool {
 	return false
 }
 
-// RunSiteModel executes one fault-injection experiment under the given
-// fault model. ModelDestValue behaves exactly like RunSite.
-func (t *Target) RunSiteModel(site Site, model Model) (Outcome, error) {
+// validateSiteModel checks a site against the requirements of the model.
+func (t *Target) validateSiteModel(site Site, model Model) error {
 	if model == ModelDestValue {
-		return t.RunSite(site)
+		return t.validateSite(site)
 	}
 	if t.profile == nil {
-		return 0, errors.New("fault: RunSiteModel before Prepare")
+		return errors.New("fault: RunSiteModel before Prepare")
 	}
 	if site.Thread < 0 || site.Thread >= len(t.profile.Threads) {
-		return 0, fmt.Errorf("fault: thread %d out of range", site.Thread)
+		return fmt.Errorf("fault: thread %d out of range", site.Thread)
 	}
 	tp := &t.profile.Threads[site.Thread]
 	if site.DynInst < 0 || site.DynInst >= tp.ICnt {
-		return 0, fmt.Errorf("fault: dyn inst %d out of range for thread %d", site.DynInst, site.Thread)
+		return fmt.Errorf("fault: dyn inst %d out of range for thread %d", site.DynInst, site.Thread)
 	}
 	switch model {
 	case ModelDestDouble:
 		bits := t.profile.SiteBitsOf(site.Thread, site.DynInst)
 		if bits == 0 {
-			return 0, ErrNotASite
+			return ErrNotASite
 		}
 		if site.Bit < 0 || site.Bit >= bits {
-			return 0, fmt.Errorf("fault: bit %d out of range (%d-bit destination)", site.Bit, bits)
+			return fmt.Errorf("fault: bit %d out of range (%d-bit destination)", site.Bit, bits)
 		}
 	case ModelMemAddr:
 		pc := t.StaticPCAt(site.Thread, site.DynInst)
 		if !touchesMemory(&t.Prog.Instrs[pc]) {
-			return 0, ErrNotAMemSite
+			return ErrNotAMemSite
 		}
 		if site.Bit < 0 || site.Bit >= 32 {
-			return 0, fmt.Errorf("fault: address bit %d out of range", site.Bit)
+			return fmt.Errorf("fault: address bit %d out of range", site.Bit)
 		}
 	default:
-		return 0, fmt.Errorf("fault: unknown model %d", model)
+		return fmt.Errorf("fault: unknown model %d", model)
 	}
+	return nil
+}
 
-	dev := t.Init.Clone()
+// RunSiteModel executes one fault-injection experiment under the given
+// fault model on a fresh clone of the pristine device. ModelDestValue
+// behaves exactly like RunSite.
+func (t *Target) RunSiteModel(site Site, model Model) (Outcome, error) {
+	if err := t.validateSiteModel(site, model); err != nil {
+		return 0, err
+	}
+	return t.runSiteModelOn(t.Init.Clone(), site, model)
+}
+
+// RunSiteModelOn is RunSiteModel on a caller-provided pristine device (see
+// RunSiteOn for the contract).
+func (t *Target) RunSiteModelOn(dev *gpusim.Device, site Site, model Model) (Outcome, error) {
+	if err := t.validateSiteModel(site, model); err != nil {
+		return 0, err
+	}
+	return t.runSiteModelOn(dev, site, model)
+}
+
+func (t *Target) runSiteModelOn(dev *gpusim.Device, site Site, model Model) (Outcome, error) {
 	inj := &gpusim.Injection{
 		Thread: site.Thread, DynInst: site.DynInst, Bit: site.Bit,
 		Kind: model.kind(),
@@ -115,16 +134,7 @@ func (t *Target) RunSiteModel(site Site, model Model) (Outcome, error) {
 	if err != nil {
 		return 0, err
 	}
-	if res.Trap != nil {
-		if res.Trap.Kind == gpusim.TrapWatchdog || res.Trap.Kind == gpusim.TrapDeadlock {
-			return Hang, nil
-		}
-		return Crash, nil
-	}
-	if bytes.Equal(t.extractOutput(dev), t.golden) {
-		return Masked, nil
-	}
-	return SDC, nil
+	return t.classify(dev, res), nil
 }
 
 // MemAddrSites enumerates ModelMemAddr fault sites for one thread: one site
@@ -148,9 +158,9 @@ func (s *Space) MemAddrSites(t int, keep func(dyn int64) bool) []Site {
 }
 
 // RunModel executes a campaign of weighted sites under one fault model,
-// sharing Run's parallel engine.
+// sharing Run's pooled parallel engine.
 func RunModel(t *Target, sites []WeightedSite, model Model, opt CampaignOptions) (*CampaignResult, error) {
-	return runWith(sites, opt, func(s Site) (Outcome, error) {
-		return t.RunSiteModel(s, model)
+	return t.runCampaign(sites, opt, func(t *Target, dev *gpusim.Device, s Site) (Outcome, error) {
+		return t.RunSiteModelOn(dev, s, model)
 	})
 }

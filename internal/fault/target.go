@@ -1,7 +1,6 @@
 package fault
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 
@@ -132,9 +131,22 @@ func (t *Target) extractOutput(dev *gpusim.Device) []byte {
 	}
 	out := make([]byte, 0, n)
 	for _, r := range t.Output {
-		out = append(out, dev.Global[r.Off:r.Off+r.Len]...)
+		out = dev.AppendRange(out, r.Off, r.Len)
 	}
 	return out
+}
+
+// matchesGolden compares a device's output ranges against the golden output
+// without materializing a copy (the per-run hot path).
+func (t *Target) matchesGolden(dev *gpusim.Device) bool {
+	off := 0
+	for _, r := range t.Output {
+		if !dev.EqualRange(r.Off, t.golden[off:off+r.Len]) {
+			return false
+		}
+		off += r.Len
+	}
+	return true
 }
 
 // Site identifies one fault site per the paper's model: thread id, dynamic
@@ -153,45 +165,70 @@ func (s Site) String() string {
 // destination register.
 var ErrNotASite = errors.New("fault: dynamic instruction writes no destination register")
 
-// RunSite executes one fault-injection experiment and classifies its
-// outcome. It validates against the golden profile that the site denotes a
-// destination-writing dynamic instruction.
-func (t *Target) RunSite(site Site) (Outcome, error) {
+// validateSite checks that a site denotes a destination-writing dynamic
+// instruction of the golden profile.
+func (t *Target) validateSite(site Site) error {
 	if t.profile == nil {
-		return 0, errors.New("fault: RunSite before Prepare")
+		return errors.New("fault: RunSite before Prepare")
 	}
 	if site.Thread < 0 || site.Thread >= len(t.profile.Threads) {
-		return 0, fmt.Errorf("fault: thread %d out of range", site.Thread)
+		return fmt.Errorf("fault: thread %d out of range", site.Thread)
 	}
 	tp := &t.profile.Threads[site.Thread]
 	if site.DynInst < 0 || site.DynInst >= tp.ICnt {
-		return 0, fmt.Errorf("fault: dyn inst %d out of range for thread %d (iCnt %d)",
+		return fmt.Errorf("fault: dyn inst %d out of range for thread %d (iCnt %d)",
 			site.DynInst, site.Thread, tp.ICnt)
 	}
 	bits := t.profile.SiteBitsOf(site.Thread, site.DynInst)
 	if bits == 0 {
-		return 0, ErrNotASite
+		return ErrNotASite
 	}
 	if site.Bit < 0 || site.Bit >= bits {
-		return 0, fmt.Errorf("fault: bit %d out of range (%d-bit destination)", site.Bit, bits)
+		return fmt.Errorf("fault: bit %d out of range (%d-bit destination)", site.Bit, bits)
 	}
+	return nil
+}
 
-	dev := t.Init.Clone()
+// classify maps a completed run on dev to its outcome.
+func (t *Target) classify(dev *gpusim.Device, res *gpusim.Result) Outcome {
+	if res.Trap != nil {
+		if res.Trap.Kind == gpusim.TrapWatchdog || res.Trap.Kind == gpusim.TrapDeadlock {
+			return Hang
+		}
+		return Crash
+	}
+	if t.matchesGolden(dev) {
+		return Masked
+	}
+	return SDC
+}
+
+// RunSite executes one fault-injection experiment on a fresh clone of the
+// pristine device and classifies its outcome. It validates against the
+// golden profile that the site denotes a destination-writing dynamic
+// instruction. Campaigns use the pooled runner (Run) instead, which reuses
+// devices via RunSiteOn.
+func (t *Target) RunSite(site Site) (Outcome, error) {
+	if err := t.validateSite(site); err != nil {
+		return 0, err
+	}
+	return t.RunSiteOn(t.Init.Clone(), site)
+}
+
+// RunSiteOn executes one fault-injection experiment on the provided device,
+// which must hold the pristine initial state (a Clone of Init, or a pooled
+// device after ResetFrom). The device is left in its post-run state; the
+// caller owns resetting it before reuse.
+func (t *Target) RunSiteOn(dev *gpusim.Device, site Site) (Outcome, error) {
+	if err := t.validateSite(site); err != nil {
+		return 0, err
+	}
 	inj := &gpusim.Injection{Thread: site.Thread, DynInst: site.DynInst, Bit: site.Bit}
 	res, err := gpusim.Execute(dev, t.launch(inj, nil, t.watchdog))
 	if err != nil {
 		return 0, err
 	}
-	if res.Trap != nil {
-		if res.Trap.Kind == gpusim.TrapWatchdog || res.Trap.Kind == gpusim.TrapDeadlock {
-			return Hang, nil
-		}
-		return Crash, nil
-	}
-	if bytes.Equal(t.extractOutput(dev), t.golden) {
-		return Masked, nil
-	}
-	return SDC, nil
+	return t.classify(dev, res), nil
 }
 
 // DestBitsAt reports the destination width in bits of thread t's dynamic

@@ -9,6 +9,7 @@
 package gpusim
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/isa"
@@ -181,45 +182,267 @@ type Result struct {
 	TotalDyn int64
 }
 
+// Global memory page geometry. Pages are the copy-on-write granule: a Clone
+// shares every page with its source and privatizes a page on the first store
+// to it, so the cost of an injection run's device is proportional to the
+// pages it actually dirties, not to the device's total footprint. PageSize is
+// a multiple of the widest access (4 bytes), so a width-aligned access never
+// crosses a page boundary.
+const (
+	pageShift = 12
+	// PageSize is the copy-on-write granule of global memory in bytes.
+	PageSize = 1 << pageShift
+	pageMask = PageSize - 1
+)
+
 // Device is the simulated GPU memory system shared by all CTAs of a launch.
+// Global memory is paged with copy-on-write semantics (see PageSize); use
+// WriteWords/ReadWords, WriteBytes, AppendRange, Bytes and EqualRange to
+// access it. The zero Device is not usable; construct with NewDevice.
 type Device struct {
-	// Global is byte-addressed global memory (little-endian words).
-	Global []byte
+	// size is the byte length of global memory (the last page may extend
+	// beyond it as padding; accesses are bounds-checked against size).
+	size int
+	// pages[i] backs bytes [i*PageSize, (i+1)*PageSize). A page is either
+	// owned (private, writable) or shared (aliases another device's page
+	// and must be privatized before the first store).
+	pages [][]byte
+	owned []bool
+	// dirty marks owned pages written since the last ResetFrom; dirtyIdx
+	// lists them so a reset touches only what a run actually changed.
+	dirty    []bool
+	dirtyIdx []int32
+	// pagesCopied counts page-sized copies performed (copy-on-write
+	// privatizations plus ResetFrom restores) since the last
+	// TakePagesCopied.
+	pagesCopied int64
+
 	// Const is the read-only constant segment.
 	Const []byte
 }
 
 // NewDevice allocates a device with the given global memory size in bytes.
+// All pages start owned (private) and zeroed.
 func NewDevice(globalBytes int) *Device {
-	return &Device{Global: make([]byte, globalBytes)}
+	n := (globalBytes + PageSize - 1) / PageSize
+	backing := make([]byte, n*PageSize)
+	d := &Device{
+		size:  globalBytes,
+		pages: make([][]byte, n),
+		owned: make([]bool, n),
+		dirty: make([]bool, n),
+	}
+	for i := range d.pages {
+		d.pages[i] = backing[i*PageSize : (i+1)*PageSize]
+		d.owned[i] = true
+	}
+	return d
 }
 
-// Clone deep-copies the device; injection campaigns run each experiment on a
-// fresh copy of the initial state.
+// Size is the byte length of global memory.
+func (d *Device) Size() int { return d.size }
+
+// Clone returns a copy-on-write snapshot of the device: the clone shares
+// every global-memory page with the receiver, and either side privatizes a
+// page on its first subsequent store. Cloning therefore freezes the
+// receiver's current pages (the receiver also loses ownership, so its own
+// next store to a page copies it first). The constant segment is deep-copied.
+// Injection campaigns run each experiment on a clone (or on a pooled device
+// reset from the pristine image; see ResetFrom).
 func (d *Device) Clone() *Device {
-	nd := &Device{Global: make([]byte, len(d.Global))}
-	copy(nd.Global, d.Global)
+	d.freeze()
+	nd := &Device{
+		size:  d.size,
+		pages: append([][]byte(nil), d.pages...),
+		owned: make([]bool, len(d.pages)),
+		dirty: make([]bool, len(d.pages)),
+	}
 	if d.Const != nil {
-		nd.Const = make([]byte, len(d.Const))
-		copy(nd.Const, d.Const)
+		nd.Const = append([]byte(nil), d.Const...)
 	}
 	return nd
 }
 
+// freeze releases ownership of every page, making the current storage
+// immutable shared state. Idempotent, and write-free once frozen so that
+// concurrent Clone/ResetFrom calls against a frozen pristine image are safe.
+func (d *Device) freeze() {
+	for i, o := range d.owned {
+		if o {
+			d.owned[i] = false
+			d.dirty[i] = false
+		}
+	}
+	if len(d.dirtyIdx) > 0 {
+		d.dirtyIdx = d.dirtyIdx[:0]
+	}
+}
+
+// privatize makes page p writable (copying shared storage on first
+// ownership) and records it as dirty for the next ResetFrom.
+func (d *Device) privatize(p int) {
+	if !d.owned[p] {
+		np := make([]byte, PageSize)
+		copy(np, d.pages[p])
+		d.pages[p] = np
+		d.owned[p] = true
+		d.pagesCopied++
+	}
+	d.dirty[p] = true
+	d.dirtyIdx = append(d.dirtyIdx, int32(p))
+}
+
+// ResetFrom restores the device to the content of src, which must be the
+// (frozen, unmodified) device this one was cloned from — typically a
+// campaign's pristine image. Only pages dirtied since the last reset are
+// copied; already-private clean pages are left in place, so a pooled device
+// converges to one page copy per page a run actually writes. src must not be
+// written while devices reset from it remain in use.
+func (d *Device) ResetFrom(src *Device) {
+	if d.size != src.size {
+		panic(fmt.Sprintf("gpusim: ResetFrom size mismatch: %d vs %d", d.size, src.size))
+	}
+	src.freeze()
+	for _, p := range d.dirtyIdx {
+		copy(d.pages[p], src.pages[p])
+		d.dirty[p] = false
+		d.pagesCopied++
+	}
+	d.dirtyIdx = d.dirtyIdx[:0]
+	// Re-point still-shared pages at src's storage: after arbitrary
+	// clone/reset chains every shared page must alias the reset source.
+	for p := range d.pages {
+		if !d.owned[p] {
+			d.pages[p] = src.pages[p]
+		}
+	}
+}
+
+// TakePagesCopied returns the number of page copies (copy-on-write
+// privatizations plus reset restores) performed since the last call, and
+// resets the counter. Campaign statistics harvest this per pooled device.
+func (d *Device) TakePagesCopied() int64 {
+	n := d.pagesCopied
+	d.pagesCopied = 0
+	return n
+}
+
+// loadMem reads a w-byte little-endian value at addr. The caller has
+// bounds- and alignment-checked the access, so it cannot cross a page.
+func (d *Device) loadMem(addr, w int) uint32 {
+	pg := d.pages[addr>>pageShift]
+	off := addr & pageMask
+	switch w {
+	case 1:
+		return uint32(pg[off])
+	case 2:
+		return uint32(pg[off]) | uint32(pg[off+1])<<8
+	default:
+		return getWord(pg, off)
+	}
+}
+
+// storeMem writes a w-byte little-endian value at addr, privatizing the page
+// on first write. The caller has bounds- and alignment-checked the access.
+func (d *Device) storeMem(addr, w int, v uint32) {
+	p := addr >> pageShift
+	if !d.dirty[p] {
+		d.privatize(p)
+	}
+	pg := d.pages[p]
+	off := addr & pageMask
+	switch w {
+	case 1:
+		pg[off] = byte(v)
+	case 2:
+		pg[off] = byte(v)
+		pg[off+1] = byte(v >> 8)
+	default:
+		putWord(pg, off, v)
+	}
+}
+
+// checkRange panics on out-of-device host accesses (guest accesses trap
+// instead; see internal/gpusim load/store).
+func (d *Device) checkRange(off, n int) {
+	if off < 0 || n < 0 || off+n > d.size {
+		panic(fmt.Sprintf("gpusim: device access [%d, %d) outside %d bytes", off, off+n, d.size))
+	}
+}
+
 // WriteWords stores 32-bit words into global memory at a byte offset.
 func (d *Device) WriteWords(byteOff int, words []uint32) {
+	d.checkRange(byteOff, 4*len(words))
 	for i, w := range words {
-		putWord(d.Global, byteOff+4*i, w)
+		d.storeMem(byteOff+4*i, 4, w)
 	}
 }
 
 // ReadWords loads n 32-bit words from global memory at a byte offset.
 func (d *Device) ReadWords(byteOff, n int) []uint32 {
+	d.checkRange(byteOff, 4*n)
 	out := make([]uint32, n)
 	for i := range out {
-		out[i] = getWord(d.Global, byteOff+4*i)
+		out[i] = d.loadMem(byteOff+4*i, 4)
 	}
 	return out
+}
+
+// WriteBytes stores raw bytes into global memory at a byte offset.
+func (d *Device) WriteBytes(off int, b []byte) {
+	d.checkRange(off, len(b))
+	for len(b) > 0 {
+		p := off >> pageShift
+		if !d.dirty[p] {
+			d.privatize(p)
+		}
+		po := off & pageMask
+		n := copy(d.pages[p][po:], b)
+		b = b[n:]
+		off += n
+	}
+}
+
+// AppendRange appends n bytes of global memory starting at off to dst.
+func (d *Device) AppendRange(dst []byte, off, n int) []byte {
+	d.checkRange(off, n)
+	for n > 0 {
+		pg := d.pages[off>>pageShift]
+		po := off & pageMask
+		c := PageSize - po
+		if c > n {
+			c = n
+		}
+		dst = append(dst, pg[po:po+c]...)
+		off += c
+		n -= c
+	}
+	return dst
+}
+
+// Bytes returns a flat copy of global memory.
+func (d *Device) Bytes() []byte {
+	return d.AppendRange(make([]byte, 0, d.size), 0, d.size)
+}
+
+// EqualRange reports whether global memory starting at off matches want,
+// without materializing a copy — the hot path of golden-output comparison.
+func (d *Device) EqualRange(off int, want []byte) bool {
+	d.checkRange(off, len(want))
+	for len(want) > 0 {
+		pg := d.pages[off>>pageShift]
+		po := off & pageMask
+		c := PageSize - po
+		if c > len(want) {
+			c = len(want)
+		}
+		if !bytes.Equal(pg[po:po+c], want[:c]) {
+			return false
+		}
+		want = want[c:]
+		off += c
+	}
+	return true
 }
 
 func putWord(mem []byte, off int, w uint32) {

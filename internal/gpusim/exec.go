@@ -143,14 +143,19 @@ func (e *exec) step(th *threadState, cta *ctaState) (blocked bool, trap *Trap) {
 		executed = ok
 	}
 
-	dreg, _, hasDest := in.DestReg()
-	wrote := executed && hasDest
-	if e.launch.Tracer != nil {
-		e.launch.Tracer.Record(th.flat, th.pc, wrote)
-	}
-
 	inj := e.launch.Inject
 	injHere := inj != nil && th.flat == inj.Thread && th.dynCount-1 == inj.DynInst
+
+	// DestReg is only needed for tracing and for the injection writeback —
+	// skip it on the hot path of plain campaign steps.
+	wrote := false
+	if e.launch.Tracer != nil || injHere {
+		_, _, hasDest := in.DestReg()
+		wrote = executed && hasDest
+		if e.launch.Tracer != nil {
+			e.launch.Tracer.Record(th.flat, th.pc, wrote)
+		}
+	}
 	if injHere && executed && inj.Kind == InjectMemAddr {
 		// Arm the address corruption; address() consumes it during apply.
 		e.addrFlipBit = inj.Bit
@@ -172,6 +177,7 @@ func (e *exec) step(th *threadState, cta *ctaState) (blocked bool, trap *Trap) {
 	// targeted dynamic instruction. DynInst is 0-based over all retired
 	// instructions of the thread.
 	if injHere && wrote {
+		dreg, _, _ := in.DestReg()
 		switch inj.Kind {
 		case InjectDestValue:
 			e.flipRegBit(th, dreg, inj.Bit)
@@ -185,19 +191,19 @@ func (e *exec) step(th *threadState, cta *ctaState) (blocked bool, trap *Trap) {
 	return blocked, nil
 }
 
+// srcOp resolves source operand i of in under the instruction's source type.
+func (e *exec) srcOp(th *threadState, cta *ctaState, in *isa.Instruction, i int) (uint32, *Trap) {
+	if i >= len(in.Srcs) {
+		return 0, &Trap{Kind: TrapInvalid, Thread: th.flat, PC: th.pc,
+			Msg: fmt.Sprintf("%s: missing operand %d", in.Op, i)}
+	}
+	return e.sourceValue(th, cta, &in.Srcs[i], in.SType)
+}
+
 // apply executes the operation of in (guard already passed), returning the
 // next PC and whether the thread parked at a barrier.
 func (e *exec) apply(th *threadState, cta *ctaState, in *isa.Instruction) (nextPC int, blocked bool, trap *Trap) {
 	nextPC = th.pc + 1
-
-	// src resolves source operand i under the instruction's source type.
-	src := func(i int) (uint32, *Trap) {
-		if i >= len(in.Srcs) {
-			return 0, &Trap{Kind: TrapInvalid, Thread: th.flat, PC: th.pc,
-				Msg: fmt.Sprintf("%s: missing operand %d", in.Op, i)}
-		}
-		return e.sourceValue(th, cta, in.Srcs[i], in.SType)
-	}
 
 	switch in.Op {
 	case isa.OpNop, isa.OpSsy:
@@ -208,7 +214,7 @@ func (e *exec) apply(th *threadState, cta *ctaState, in *isa.Instruction) (nextP
 		return th.pc, false, nil
 
 	case isa.OpBra:
-		target, ok := e.prog.TargetPC(in.Target)
+		target, ok := e.prog.BranchPC(th.pc)
 		if !ok {
 			return 0, false, &Trap{Kind: TrapInvalid, Thread: th.flat, PC: th.pc,
 				Msg: "unresolved branch target"}
@@ -221,11 +227,11 @@ func (e *exec) apply(th *threadState, cta *ctaState, in *isa.Instruction) (nextP
 		return nextPC, true, nil
 
 	case isa.OpSt:
-		v, t := src(0)
+		v, t := e.srcOp(th, cta, in, 0)
 		if t != nil {
 			return 0, false, t
 		}
-		if tr := e.store(th, cta, in.Dst, in.DType, v); tr != nil {
+		if tr := e.store(th, cta, &in.Dst, in.DType, v); tr != nil {
 			return 0, false, tr
 		}
 		return nextPC, false, nil
@@ -233,12 +239,12 @@ func (e *exec) apply(th *threadState, cta *ctaState, in *isa.Instruction) (nextP
 	case isa.OpMov, isa.OpLd:
 		// mov supports register/immediate/memory sources and register or
 		// memory destinations; ld is mov with a mandatory memory source.
-		v, t := src(0)
+		v, t := e.srcOp(th, cta, in, 0)
 		if t != nil {
 			return 0, false, t
 		}
 		if in.Dst.Kind == isa.OpdMem {
-			if tr := e.store(th, cta, in.Dst, in.DType, v); tr != nil {
+			if tr := e.store(th, cta, &in.Dst, in.DType, v); tr != nil {
 				return 0, false, tr
 			}
 			return nextPC, false, nil
@@ -247,11 +253,11 @@ func (e *exec) apply(th *threadState, cta *ctaState, in *isa.Instruction) (nextP
 		return nextPC, false, nil
 
 	case isa.OpSet, isa.OpSetp:
-		a, t := src(0)
+		a, t := e.srcOp(th, cta, in, 0)
 		if t != nil {
 			return 0, false, t
 		}
-		b, t := src(1)
+		b, t := e.srcOp(th, cta, in, 1)
 		if t != nil {
 			return 0, false, t
 		}
@@ -266,11 +272,11 @@ func (e *exec) apply(th *threadState, cta *ctaState, in *isa.Instruction) (nextP
 		return nextPC, false, nil
 
 	case isa.OpSelp:
-		a, t := src(0)
+		a, t := e.srcOp(th, cta, in, 0)
 		if t != nil {
 			return 0, false, t
 		}
-		b, t := src(1)
+		b, t := e.srcOp(th, cta, in, 1)
 		if t != nil {
 			return 0, false, t
 		}
@@ -292,7 +298,7 @@ func (e *exec) apply(th *threadState, cta *ctaState, in *isa.Instruction) (nextP
 	}
 
 	// Remaining ops are pure ALU/SFU computations.
-	v, carry, overflow, trap := e.compute(th, cta, in, src)
+	v, carry, overflow, trap := e.compute(th, cta, in)
 	if trap != nil {
 		return 0, false, trap
 	}
@@ -305,7 +311,7 @@ func (e *exec) apply(th *threadState, cta *ctaState, in *isa.Instruction) (nextP
 		}
 	}
 	if in.Dst.Kind == isa.OpdMem {
-		if tr := e.store(th, cta, in.Dst, in.DType, v); tr != nil {
+		if tr := e.store(th, cta, &in.Dst, in.DType, v); tr != nil {
 			return 0, false, tr
 		}
 		return nextPC, false, nil
@@ -315,10 +321,8 @@ func (e *exec) apply(th *threadState, cta *ctaState, in *isa.Instruction) (nextP
 }
 
 // compute evaluates ALU/SFU opcodes to a raw 32-bit result.
-func (e *exec) compute(th *threadState, cta *ctaState, in *isa.Instruction,
-	src func(int) (uint32, *Trap)) (v uint32, carry, overflow bool, trap *Trap) {
-
-	a, t := src(0)
+func (e *exec) compute(th *threadState, cta *ctaState, in *isa.Instruction) (v uint32, carry, overflow bool, trap *Trap) {
+	a, t := e.srcOp(th, cta, in, 0)
 	if t != nil {
 		return 0, false, false, t
 	}
@@ -363,7 +367,7 @@ func (e *exec) compute(th *threadState, cta *ctaState, in *isa.Instruction,
 		return f32bits(float32(math.Log2(float64(f32(a))))), false, false, nil
 	}
 
-	b, t := src(1)
+	b, t := e.srcOp(th, cta, in, 1)
 	if t != nil {
 		return 0, false, false, t
 	}
@@ -395,7 +399,7 @@ func (e *exec) compute(th *threadState, cta *ctaState, in *isa.Instruction,
 		}
 		return a * b, false, false, nil
 	case isa.OpMad:
-		c, t := src(2)
+		c, t := e.srcOp(th, cta, in, 2)
 		if t != nil {
 			return 0, false, false, t
 		}
@@ -470,7 +474,7 @@ func (e *exec) compute(th *threadState, cta *ctaState, in *isa.Instruction,
 		}
 		return a >> (b & 31), false, false, nil
 	case isa.OpSad:
-		c, t := src(2)
+		c, t := e.srcOp(th, cta, in, 2)
 		if t != nil {
 			return 0, false, false, t
 		}
@@ -489,7 +493,7 @@ func (e *exec) compute(th *threadState, cta *ctaState, in *isa.Instruction,
 		}
 		return c + d, false, false, nil
 	case isa.OpSlct:
-		c, t := src(2)
+		c, t := e.srcOp(th, cta, in, 2)
 		if t != nil {
 			return 0, false, false, t
 		}

@@ -273,10 +273,15 @@ func TestDeviceHelpers(t *testing.T) {
 	}
 	dev.Const = []byte{1, 2, 3, 4}
 	cl := dev.Clone()
-	cl.Global[4] = 0xFF
+	cl.WriteBytes(4, []byte{0xFF})
 	cl.Const[0] = 9
-	if dev.Global[4] == 0xFF || dev.Const[0] == 9 {
+	if dev.Bytes()[4] == 0xFF || dev.Const[0] == 9 {
 		t.Fatal("clone aliases original")
+	}
+	// And the original's writes must not leak into the clone.
+	dev.WriteBytes(8, []byte{0xAB})
+	if cl.Bytes()[8] == 0xAB {
+		t.Fatal("original write visible through clone")
 	}
 }
 

@@ -119,7 +119,7 @@ func (e *exec) flipRegBit(th *threadState, r isa.Reg, bit int) {
 
 // sourceValue resolves a source operand to its raw 32-bit value, applying
 // half-selection and negation. Memory sources go through load and may trap.
-func (e *exec) sourceValue(th *threadState, cta *ctaState, o isa.Operand, t isa.DataType) (uint32, *Trap) {
+func (e *exec) sourceValue(th *threadState, cta *ctaState, o *isa.Operand, t isa.DataType) (uint32, *Trap) {
 	switch o.Kind {
 	case isa.OpdReg:
 		v := e.readReg(th, o.Reg)
@@ -154,7 +154,7 @@ func (e *exec) sourceValue(th *threadState, cta *ctaState, o isa.Operand, t isa.
 // address computes the effective byte address of a memory operand, applying
 // a pending InjectMemAddr fault to the first address computed after the
 // injection point.
-func (e *exec) address(th *threadState, o isa.Operand) uint32 {
+func (e *exec) address(th *threadState, o *isa.Operand) uint32 {
 	addr := o.Imm
 	if o.BaseValid {
 		addr += e.readReg(th, o.Reg)
@@ -178,11 +178,11 @@ func accessWidth(t isa.DataType) int {
 	}
 }
 
-// memSlice resolves the backing storage for a space.
+// memSlice resolves the flat backing storage for a non-global space; global
+// memory lives behind the device's copy-on-write page table and is accessed
+// through Device.loadMem/storeMem instead.
 func (e *exec) memSlice(cta *ctaState, space isa.MemSpace) []byte {
 	switch space {
-	case isa.SpaceGlobal:
-		return e.dev.Global
 	case isa.SpaceShared, isa.SpaceLocal:
 		return cta.shared
 	case isa.SpaceConst:
@@ -193,45 +193,71 @@ func (e *exec) memSlice(cta *ctaState, space isa.MemSpace) []byte {
 
 // load reads from memory with bounds and alignment checking; violations trap
 // (the simulator's "crash" outcome).
-func (e *exec) load(th *threadState, cta *ctaState, o isa.Operand, t isa.DataType) (uint32, *Trap) {
-	mem := e.memSlice(cta, o.Space)
+func (e *exec) load(th *threadState, cta *ctaState, o *isa.Operand, t isa.DataType) (uint32, *Trap) {
 	addr := int(e.address(th, o))
 	w := accessWidth(t)
-	if mem == nil || addr < 0 || addr+w > len(mem) {
-		return 0, &Trap{Kind: TrapMemFault, Thread: th.flat, PC: th.pc,
-			Msg: "load out of range"}
-	}
-	if addr%w != 0 {
-		return 0, &Trap{Kind: TrapMemFault, Thread: th.flat, PC: th.pc,
-			Msg: "misaligned load"}
-	}
 	var v uint32
-	switch w {
-	case 1:
-		v = uint32(mem[addr])
-		if t.Signed() {
-			v = uint32(int32(int8(v)))
+	if o.Space == isa.SpaceGlobal {
+		if addr < 0 || addr+w > e.dev.size {
+			return 0, &Trap{Kind: TrapMemFault, Thread: th.flat, PC: th.pc,
+				Msg: "load out of range"}
 		}
-	case 2:
-		v = uint32(mem[addr]) | uint32(mem[addr+1])<<8
-		if t.Signed() {
+		if addr%w != 0 {
+			return 0, &Trap{Kind: TrapMemFault, Thread: th.flat, PC: th.pc,
+				Msg: "misaligned load"}
+		}
+		v = e.dev.loadMem(addr, w)
+	} else {
+		mem := e.memSlice(cta, o.Space)
+		if mem == nil || addr < 0 || addr+w > len(mem) {
+			return 0, &Trap{Kind: TrapMemFault, Thread: th.flat, PC: th.pc,
+				Msg: "load out of range"}
+		}
+		if addr%w != 0 {
+			return 0, &Trap{Kind: TrapMemFault, Thread: th.flat, PC: th.pc,
+				Msg: "misaligned load"}
+		}
+		switch w {
+		case 1:
+			v = uint32(mem[addr])
+		case 2:
+			v = uint32(mem[addr]) | uint32(mem[addr+1])<<8
+		default:
+			v = getWord(mem, addr)
+		}
+	}
+	if t.Signed() {
+		switch w {
+		case 1:
+			v = uint32(int32(int8(v)))
+		case 2:
 			v = uint32(int32(int16(v)))
 		}
-	default:
-		v = getWord(mem, addr)
 	}
 	return v, nil
 }
 
 // store writes to memory with bounds and alignment checking.
-func (e *exec) store(th *threadState, cta *ctaState, o isa.Operand, t isa.DataType, v uint32) *Trap {
-	mem := e.memSlice(cta, o.Space)
+func (e *exec) store(th *threadState, cta *ctaState, o *isa.Operand, t isa.DataType, v uint32) *Trap {
 	if o.Space == isa.SpaceConst {
 		return &Trap{Kind: TrapMemFault, Thread: th.flat, PC: th.pc,
 			Msg: "store to const space"}
 	}
 	addr := int(e.address(th, o))
 	w := accessWidth(t)
+	if o.Space == isa.SpaceGlobal {
+		if addr < 0 || addr+w > e.dev.size {
+			return &Trap{Kind: TrapMemFault, Thread: th.flat, PC: th.pc,
+				Msg: "store out of range"}
+		}
+		if addr%w != 0 {
+			return &Trap{Kind: TrapMemFault, Thread: th.flat, PC: th.pc,
+				Msg: "misaligned store"}
+		}
+		e.dev.storeMem(addr, w, v)
+		return nil
+	}
+	mem := e.memSlice(cta, o.Space)
 	if mem == nil || addr < 0 || addr+w > len(mem) {
 		return &Trap{Kind: TrapMemFault, Thread: th.flat, PC: th.pc,
 			Msg: "store out of range"}

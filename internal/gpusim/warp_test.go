@@ -54,7 +54,7 @@ func TestWarpModeEquivalence(t *testing.T) {
 			if res.Trap != nil {
 				t.Fatalf("%s warp=%d trapped: %v", name, warp, res.Trap)
 			}
-			return res, append([]byte(nil), dev.Global...)
+			return res, dev.Bytes()
 		}
 
 		serial, memSerial := run(0)
@@ -111,8 +111,7 @@ func TestWarpModeInjectionEquivalence(t *testing.T) {
 				got[mode] = false
 				continue
 			}
-			out := dev.Global[len(dev.Global)-len(golden):]
-			got[mode] = bytes.Equal(out, golden)
+			got[mode] = dev.EqualRange(dev.Size()-len(golden), golden)
 		}
 		if got[0] != got[1] {
 			t.Fatalf("site %v: masked-ness differs across schedulers", site)

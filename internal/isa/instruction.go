@@ -168,12 +168,29 @@ type Program struct {
 	Instrs []Instruction
 	// Labels maps label names to static PCs.
 	Labels map[string]int
+	// braPC caches the resolved target of each branch instruction by static
+	// PC (-1 for non-branches). Built by Validate so the interpreter's branch
+	// dispatch avoids a label-map lookup per dynamic branch.
+	braPC []int32
 }
 
 // TargetPC resolves a branch label, reporting whether it exists.
 func (p *Program) TargetPC(label string) (int, bool) {
 	pc, ok := p.Labels[label]
 	return pc, ok
+}
+
+// BranchPC resolves the branch target of the instruction at static PC pc.
+// On programs that passed Validate this is an array read; otherwise it falls
+// back to the label map.
+func (p *Program) BranchPC(pc int) (int, bool) {
+	if p.braPC != nil {
+		if t := p.braPC[pc]; t >= 0 {
+			return int(t), true
+		}
+		return 0, false
+	}
+	return p.TargetPC(p.Instrs[pc].Target)
 }
 
 // String disassembles the whole program, one instruction per line.
@@ -212,6 +229,14 @@ func (p *Program) Validate() error {
 	for label, pc := range p.Labels {
 		if pc < 0 || pc >= len(p.Instrs) {
 			return fmt.Errorf("isa: %s: label %q points outside program (pc %d)", p.Name, label, pc)
+		}
+	}
+	// Everything checked out: freeze the branch-target cache for BranchPC.
+	p.braPC = make([]int32, len(p.Instrs))
+	for i := range p.Instrs {
+		p.braPC[i] = -1
+		if in := &p.Instrs[i]; in.Op == OpBra || in.Op == OpSsy {
+			p.braPC[i] = int32(p.Labels[in.Target])
 		}
 	}
 	return nil

@@ -142,9 +142,9 @@ func TestOutputRangesWithinDevice(t *testing.T) {
 		}
 		var total int
 		for _, r := range inst.Target.Output {
-			if r.Off < 0 || r.Len <= 0 || r.Off+r.Len > len(inst.Target.Init.Global) {
+			if r.Off < 0 || r.Len <= 0 || r.Off+r.Len > inst.Target.Init.Size() {
 				t.Errorf("%s: output range %+v outside device of %d bytes",
-					spec.Meta.Name(), r, len(inst.Target.Init.Global))
+					spec.Meta.Name(), r, inst.Target.Init.Size())
 			}
 			total += r.Len
 		}

@@ -138,6 +138,26 @@ func NewKernelProfile(name string, prof *trace.Profile) KernelProfile {
 	return out
 }
 
+// Campaign is the JSON summary of a campaign's execution stats.
+type Campaign struct {
+	Runs        int64   `json:"runs"`
+	WallMS      float64 `json:"wall_ms"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	PagesCopied int64   `json:"pages_copied"`
+	PeakPool    int     `json:"peak_pool"`
+}
+
+// NewCampaign converts fault.CampaignStats.
+func NewCampaign(s fault.CampaignStats) Campaign {
+	return Campaign{
+		Runs:        s.Runs,
+		WallMS:      float64(s.Wall.Microseconds()) / 1000,
+		RunsPerSec:  s.RunsPerSec,
+		PagesCopied: s.PagesCopied,
+		PeakPool:    s.PeakPool,
+	}
+}
+
 // Estimate bundles a plan with its estimated and baseline profiles.
 type Estimate struct {
 	Plan     Plan     `json:"plan"`
@@ -146,16 +166,23 @@ type Estimate struct {
 	// MaxDeltaPP is the largest class difference in percentage points,
 	// present only with a baseline.
 	MaxDeltaPP *float64 `json:"max_delta_pp,omitempty"`
+	// Campaign holds the execution stats of the pruned campaign when
+	// requested (-stats).
+	Campaign *Campaign `json:"campaign,omitempty"`
 }
 
-// NewEstimate assembles the document; baseline may be the zero Dist to omit.
-func NewEstimate(p *core.Plan, pruned fault.Dist, baseline *fault.Dist) Estimate {
+// NewEstimate assembles the document; baseline and stats may be nil to omit.
+func NewEstimate(p *core.Plan, pruned fault.Dist, baseline *fault.Dist, stats *fault.CampaignStats) Estimate {
 	e := Estimate{Plan: NewPlan(p), Pruned: NewProfile(pruned)}
 	if baseline != nil {
 		bp := NewProfile(*baseline)
 		e.Baseline = &bp
 		d := pruned.MaxClassDelta(*baseline)
 		e.MaxDeltaPP = &d
+	}
+	if stats != nil {
+		c := NewCampaign(*stats)
+		e.Campaign = &c
 	}
 	return e
 }

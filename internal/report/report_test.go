@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -78,15 +79,22 @@ func TestPlanAndProfileDocuments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	doc := report.NewEstimate(plan, est, nil)
+	doc := report.NewEstimate(plan, est, nil, nil)
 	if doc.Baseline != nil || doc.MaxDeltaPP != nil {
 		t.Fatal("baseline fields should be omitted")
 	}
+	if doc.Campaign != nil {
+		t.Fatal("campaign stats should be omitted")
+	}
 	var base fault.Dist
 	base.Add(fault.Masked, 1)
-	doc = report.NewEstimate(plan, est, &base)
+	stats := fault.CampaignStats{Runs: 7, Wall: time.Millisecond, PagesCopied: 3, PeakPool: 2}
+	doc = report.NewEstimate(plan, est, &base, &stats)
 	if doc.Baseline == nil || doc.MaxDeltaPP == nil {
 		t.Fatal("baseline fields missing")
+	}
+	if doc.Campaign == nil || doc.Campaign.Runs != 7 || doc.Campaign.WallMS != 1 {
+		t.Fatalf("campaign stats: %+v", doc.Campaign)
 	}
 
 	var buf bytes.Buffer
