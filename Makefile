@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench
+.PHONY: ci vet build test race bench-smoke bench bench-full
 
 ci: vet build race bench-smoke
 
@@ -16,10 +16,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One iteration of the headline benchmark: catches gross regressions and
-# panics in the campaign engine without a full benchmark run.
+# One iteration of the headline benchmark, piped through benchjson: catches
+# gross regressions and panics in the campaign engine (and keeps the JSON
+# extractor building) without a full benchmark run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench BenchmarkTable2 -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkTable2$$' -benchtime 1x . | $(GO) run ./cmd/benchjson > /dev/null
 
+# Table/figure and campaign-engine benchmarks in smoke mode (one iteration
+# each), recorded as ns/op per benchmark in BENCH_pr2.json — the perf
+# trajectory across PRs.
 bench:
+	$(GO) test -run '^$$' -bench '^Benchmark(Table|Fig|Campaign)' -benchtime 1x . | $(GO) run ./cmd/benchjson > BENCH_pr2.json
+
+# The full benchmark suite with allocation stats (slow).
+bench-full:
 	$(GO) test -run '^$$' -bench . -benchtime 3x -benchmem .

@@ -140,6 +140,34 @@ func BenchmarkInjectionRun(b *testing.B) {
 	}
 }
 
+// benchCampaign times a fixed 512-site campaign on GEMM K1 (4 CTAs) with the
+// checkpointed fast-forward engine on or off. The pair quantifies the
+// speedup from skipping fault-free prefix CTAs and early-exiting on golden-
+// state convergence; run back to back on the same machine for the ratio.
+func benchCampaign(b *testing.B, fullRun bool) {
+	spec, _ := kernels.ByName("GEMM K1")
+	inst, err := spec.Build(kernels.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst.Target.FullRun = fullRun
+	if err := inst.Target.Prepare(); err != nil {
+		b.Fatal(err)
+	}
+	space := fault.NewSpace(inst.Target.Profile())
+	sites := fault.Uniform(space.Random(stats.NewRNG(7), 512))
+	opt := fault.CampaignOptions{Parallelism: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fault.Run(inst.Target, sites, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignCheckpoint(b *testing.B) { benchCampaign(b, false) }
+func BenchmarkCampaignFullRun(b *testing.B)    { benchCampaign(b, true) }
+
 // BenchmarkBuildPlan measures the pruning pipeline itself (no injections):
 // profiling reuse, grouping, diffing, sampling, site materialization.
 func BenchmarkBuildPlan(b *testing.B) {

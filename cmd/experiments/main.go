@@ -45,7 +45,7 @@ func main() {
 	par := flag.Int("par", 0, "campaign parallelism (0 = GOMAXPROCS)")
 	outPath := flag.String("out", "", "also append the reports to this file")
 	kernelFilter := flag.String("kernels", "", "comma-separated kernel subset (default: the paper's full set)")
-	showStats := flag.Bool("stats", false, "report per-experiment campaign stats (runs, rate, COW pages, pool size)")
+	showStats := flag.Bool("stats", false, "report per-experiment campaign stats (runs, rate, COW pages, devices, fast-forward skips)")
 	flag.Parse()
 
 	if *list {

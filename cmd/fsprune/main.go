@@ -39,7 +39,10 @@ func main() {
 	margin := flag.Float64("margin", 0.03, "target error margin for -action baseline (adaptive)")
 	deadPrune := flag.Bool("dead", false, "enable the dead-destination extension stage")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
-	showStats := flag.Bool("stats", false, "report campaign execution stats (runs, rate, COW pages, pool size)")
+	showStats := flag.Bool("stats", false, "report campaign execution stats (runs, rate, COW pages, devices, fast-forward skips)")
+	warp := flag.Int("warp", 0, "SIMT lockstep warp width for every run (0 = serial thread interleaving)")
+	fullRun := flag.Bool("full-run", false, "disable checkpointed fast-forward; re-execute the whole grid per experiment (reference engine)")
+	ckptStride := flag.Int("ckpt-stride", 0, "CTA boundaries between golden checkpoints (0 = auto from grid size)")
 	flag.Parse()
 
 	var sink *fault.StatsSink
@@ -69,6 +72,9 @@ func main() {
 	}
 	inst, err := spec.Build(sc)
 	fatal(err)
+	inst.Target.WarpSize = *warp
+	inst.Target.FullRun = *fullRun
+	inst.Target.CheckpointStride = *ckptStride
 	fatal(inst.Target.Prepare())
 	prof := inst.Target.Profile()
 	space := fault.NewSpace(prof)

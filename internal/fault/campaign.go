@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,21 +62,42 @@ type CampaignStats struct {
 	// copy-on-write device layer (first-store privatizations plus
 	// pristine-reset restores) across all pooled devices.
 	PagesCopied int64
-	// PeakPool is the number of pristine device clones the campaign
+	// DevicesCreated is the number of device clones the campaign
 	// materialized: at least the number of concurrently active workers,
 	// more when the GC dropped pooled devices between runs.
-	PeakPool int
+	DevicesCreated int
+	// CTAsSkipped counts CTA executions the checkpointed fast-forward
+	// engine avoided, summed over all runs: golden prefixes resumed from a
+	// snapshot plus suffixes proven golden by convergence.
+	CTAsSkipped int64
+	// EarlyExits counts runs classified Masked at the injected CTA's
+	// boundary because the run's global memory converged to golden state,
+	// without executing the remaining CTAs.
+	EarlyExits int64
+	// Checkpoints and CheckpointBytes describe the target's golden snapshot
+	// store (built once per target by Prepare, not per run): snapshot count
+	// including the pristine image, and the approximate memory the
+	// snapshots retain beyond it.
+	Checkpoints     int
+	CheckpointBytes int64
 }
 
 // Merge accumulates another campaign's stats: counters add, wall times add
-// (campaigns in one pipeline run back to back), pool high-water marks take
-// the max, and the rate is recomputed.
+// (campaigns in one pipeline run back to back), the per-target checkpoint
+// figures take the max (repeated campaigns on one target share one store),
+// and the rate is recomputed.
 func (s *CampaignStats) Merge(o CampaignStats) {
 	s.Runs += o.Runs
 	s.Wall += o.Wall
 	s.PagesCopied += o.PagesCopied
-	if o.PeakPool > s.PeakPool {
-		s.PeakPool = o.PeakPool
+	s.DevicesCreated += o.DevicesCreated
+	s.CTAsSkipped += o.CTAsSkipped
+	s.EarlyExits += o.EarlyExits
+	if o.Checkpoints > s.Checkpoints {
+		s.Checkpoints = o.Checkpoints
+	}
+	if o.CheckpointBytes > s.CheckpointBytes {
+		s.CheckpointBytes = o.CheckpointBytes
 	}
 	s.RunsPerSec = 0
 	if s.Wall > 0 {
@@ -85,8 +107,9 @@ func (s *CampaignStats) Merge(o CampaignStats) {
 
 // String renders the stats for CLI -stats output.
 func (s CampaignStats) String() string {
-	return fmt.Sprintf("%d runs in %v (%.0f/s), %d pages copied, pool %d",
-		s.Runs, s.Wall.Round(time.Millisecond), s.RunsPerSec, s.PagesCopied, s.PeakPool)
+	return fmt.Sprintf("%d runs in %v (%.0f/s), %d pages copied, %d devices, %d CTAs skipped, %d early exits, %d checkpoints (%d KiB)",
+		s.Runs, s.Wall.Round(time.Millisecond), s.RunsPerSec, s.PagesCopied,
+		s.DevicesCreated, s.CTAsSkipped, s.EarlyExits, s.Checkpoints, s.CheckpointBytes/1024)
 }
 
 // StatsSink accumulates campaign stats across several fault.Run calls —
@@ -133,11 +156,12 @@ type CampaignOptions struct {
 	Sink *StatsSink
 }
 
-// devicePool hands out reusable pristine-state devices to campaign workers.
-// Devices are copy-on-write clones of the pristine image; put resets a
-// device by restoring only the pages its run dirtied, so steady-state cost
-// per experiment is proportional to the run's write set, not the device
-// footprint.
+// devicePool hands out reusable copy-on-write devices to campaign workers.
+// Devices start as clones of the pristine image; the runner resets each one
+// before use (from a checkpoint snapshot or the pristine image), so put only
+// harvests the page-copy counter. Reuse is safe after trapped or failed
+// runs: reset is driven by the dirty-page list, so poisoned state cannot
+// leak into the next experiment.
 type devicePool struct {
 	pristine *gpusim.Device
 	pool     sync.Pool
@@ -159,12 +183,7 @@ func newDevicePool(pristine *gpusim.Device) *devicePool {
 
 func (p *devicePool) get() *gpusim.Device { return p.pool.Get().(*gpusim.Device) }
 
-// put restores the device to pristine content and returns it to the pool,
-// harvesting its page-copy counter. Safe after trapped or failed runs: reset
-// is driven by the dirty-page list, so poisoned state cannot leak into the
-// next experiment.
 func (p *devicePool) put(d *gpusim.Device) {
-	d.ResetFrom(p.pristine)
 	p.pages.Add(d.TakePagesCopied())
 	p.pool.Put(d)
 }
@@ -173,27 +192,52 @@ func (p *devicePool) put(d *gpusim.Device) {
 // parallel, and aggregates the weighted outcome distribution. The target
 // must be Prepared. Workers draw reusable copy-on-write devices from a pool
 // and reset them between experiments, so runs are independent and the
-// aggregation is deterministic regardless of scheduling. A site error
-// cancels the remaining campaign promptly and Run returns the error of the
-// lowest-index failing site, independent of scheduling.
+// aggregation is deterministic regardless of scheduling; on multi-CTA
+// targets (unless Target.FullRun) each run fast-forwards from the golden
+// checkpoint nearest its injected CTA and may early-exit on golden-state
+// convergence, with outcomes bit-identical to full runs. The whole site list
+// is validated up front, so an invalid site fails before any experiment
+// executes, reporting the lowest-index invalid site; an execution error
+// cancels the remaining campaign promptly.
 func Run(t *Target, sites []WeightedSite, opt CampaignOptions) (*CampaignResult, error) {
-	return t.runCampaign(sites, opt, (*Target).RunSiteOn)
+	return t.runCampaign(sites, opt, ModelDestValue)
 }
 
-// runCampaign wires a per-device site runner to the parallel engine through
-// a device pool, and finalizes stats.
-func (t *Target) runCampaign(sites []WeightedSite, opt CampaignOptions,
-	runOn func(*Target, *gpusim.Device, Site) (Outcome, error)) (*CampaignResult, error) {
+// runCampaign validates the site list, wires the unchecked fast-forward
+// runner to the parallel engine through a device pool, and finalizes stats.
+func (t *Target) runCampaign(sites []WeightedSite, opt CampaignOptions, model Model) (*CampaignResult, error) {
+	// Validate once, outside the hot loop: the engine below runs unchecked.
+	// Input order makes the reported error the lowest-index invalid site.
+	for i := range sites {
+		if err := t.validateSiteModel(sites[i].Site, model); err != nil {
+			return nil, fmt.Errorf("site %v: %w", sites[i].Site, err)
+		}
+	}
 
 	pool := newDevicePool(t.Init)
-	res, st, err := runWith(sites, opt, func(s Site) (Outcome, error) {
+	var ctasSkipped, earlyExits atomic.Int64
+	res, st, err := runWith(sites, t.scheduleOrder(sites), opt, func(s Site) (Outcome, error) {
 		dev := pool.get()
-		o, rerr := runOn(t, dev, s)
+		o, cost, rerr := t.injectOn(dev, s, model)
 		pool.put(dev)
+		if rerr == nil {
+			if cost.ctasSkipped > 0 {
+				ctasSkipped.Add(cost.ctasSkipped)
+			}
+			if cost.earlyExit {
+				earlyExits.Add(1)
+			}
+		}
 		return o, rerr
 	})
 	st.PagesCopied = pool.pages.Load()
-	st.PeakPool = int(pool.created.Load())
+	st.DevicesCreated = int(pool.created.Load())
+	st.CTAsSkipped = ctasSkipped.Load()
+	st.EarlyExits = earlyExits.Load()
+	if ck := t.ckpt; ck != nil {
+		st.Checkpoints = ck.Count()
+		st.CheckpointBytes = ck.Bytes()
+	}
 	if opt.Sink != nil {
 		opt.Sink.Add(st)
 	}
@@ -204,14 +248,43 @@ func (t *Target) runCampaign(sites []WeightedSite, opt CampaignOptions,
 	return res, nil
 }
 
+// scheduleOrder returns the execution order of a checkpointed campaign: a
+// permutation sorted by (CTA, thread, dyn inst, bit) — thread order implies
+// CTA order — so consecutive batch work shares a checkpoint snapshot and
+// stays page-local. Aggregation and error reporting remain input-ordered.
+// Returns nil (identity) when reordering cannot help.
+func (t *Target) scheduleOrder(sites []WeightedSite) []int {
+	if t.ckpt == nil || len(sites) < 2 {
+		return nil
+	}
+	order := make([]int, len(sites))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := sites[order[a]].Site, sites[order[b]].Site
+		if sa.Thread != sb.Thread {
+			return sa.Thread < sb.Thread
+		}
+		if sa.DynInst != sb.DynInst {
+			return sa.DynInst < sb.DynInst
+		}
+		return sa.Bit < sb.Bit
+	})
+	return order
+}
+
 // runWith is the shared parallel campaign engine; runSite evaluates one
-// site. Work is handed out in batches from a shared cursor. The first site
-// error cancels the campaign: the batch cursor stops short of the failing
-// index, in-flight workers skip sites at or beyond it, and — because the
-// error index only ever decreases and every site below it is still executed
-// — the returned error is the one of the lowest-index failing site
-// regardless of goroutine scheduling.
-func runWith(sites []WeightedSite, opt CampaignOptions,
+// site. order, when non-nil, is the permutation mapping schedule position to
+// input index (identity when nil): sites execute in schedule order, while
+// outcomes, aggregation and error attribution stay in input order. Work is
+// handed out in batches from a shared cursor. The first site error cancels
+// the campaign: the batch cursor stops short of the failing schedule
+// position, in-flight workers skip positions at or beyond it, and — because
+// the error position only ever decreases and every position below it is
+// still executed — the returned error is the one of the lowest-scheduled
+// failing site regardless of goroutine scheduling.
+func runWith(sites []WeightedSite, order []int, opt CampaignOptions,
 	runSite func(Site) (Outcome, error)) (*CampaignResult, CampaignStats, error) {
 
 	workers := opt.Parallelism
@@ -224,22 +297,28 @@ func runWith(sites []WeightedSite, opt CampaignOptions,
 	if len(sites) == 0 {
 		return &CampaignResult{}, CampaignStats{}, nil
 	}
+	input := func(pos int) int {
+		if order == nil {
+			return pos
+		}
+		return order[pos]
+	}
 
 	start := time.Now()
 	outcomes := make([]Outcome, len(sites))
 	var runs atomic.Int64
 
 	// Cancellation state: errLimit is len(sites) while healthy, and drops
-	// to the lowest failing index seen so far. firstErr tracks the error
-	// belonging to the current errLimit.
+	// to the lowest failing schedule position seen so far. firstErr tracks
+	// the error belonging to the current errLimit.
 	var errLimit atomic.Int64
 	errLimit.Store(int64(len(sites)))
 	var errMu sync.Mutex
 	var firstErr error
-	fail := func(i int, err error) {
+	fail := func(pos, i int, err error) {
 		errMu.Lock()
-		if int64(i) < errLimit.Load() {
-			errLimit.Store(int64(i))
+		if int64(pos) < errLimit.Load() {
+			errLimit.Store(int64(pos))
 			firstErr = fmt.Errorf("site %v: %w", sites[i].Site, err)
 		}
 		errMu.Unlock()
@@ -277,14 +356,15 @@ func runWith(sites []WeightedSite, opt CampaignOptions,
 				if lo == hi {
 					return
 				}
-				for i := lo; i < hi; i++ {
-					if int64(i) >= errLimit.Load() {
+				for pos := lo; pos < hi; pos++ {
+					if int64(pos) >= errLimit.Load() {
 						break
 					}
+					i := input(pos)
 					o, err := runSite(sites[i].Site)
 					runs.Add(1)
 					if err != nil {
-						fail(i, err)
+						fail(pos, i, err)
 						break
 					}
 					outcomes[i] = o

@@ -32,7 +32,7 @@ func TestRunWithDeterministicLowestError(t *testing.T) {
 	}
 	for _, par := range []int{1, 2, 4, 8} {
 		for trial := 0; trial < 5; trial++ {
-			_, _, err := runWith(fakeSites(n), CampaignOptions{Parallelism: par},
+			_, _, err := runWith(fakeSites(n), nil, CampaignOptions{Parallelism: par},
 				func(s Site) (Outcome, error) {
 					if e, ok := failAt[s.Thread]; ok {
 						return 0, e
@@ -54,7 +54,7 @@ func TestRunWithDeterministicLowestError(t *testing.T) {
 func TestRunWithErrorMessageNamesSite(t *testing.T) {
 	sentinel := errors.New("boom")
 	sites := fakeSites(50)
-	_, _, err := runWith(sites, CampaignOptions{Parallelism: 2},
+	_, _, err := runWith(sites, nil, CampaignOptions{Parallelism: 2},
 		func(s Site) (Outcome, error) {
 			if s.Thread == 17 {
 				return 0, sentinel
@@ -77,7 +77,7 @@ func TestRunWithCancelsPromptly(t *testing.T) {
 	const n = 3000
 	const failIdx = 5
 	var executed atomic.Int64
-	_, st, err := runWith(fakeSites(n), CampaignOptions{Parallelism: 4},
+	_, st, err := runWith(fakeSites(n), nil, CampaignOptions{Parallelism: 4},
 		func(s Site) (Outcome, error) {
 			executed.Add(1)
 			if s.Thread == failIdx {
@@ -104,7 +104,7 @@ func TestRunWithExecutesEverySiteBelowError(t *testing.T) {
 	const n = 500
 	const failIdx = 321
 	seen := make([]atomic.Bool, n)
-	_, _, err := runWith(fakeSites(n), CampaignOptions{Parallelism: 8},
+	_, _, err := runWith(fakeSites(n), nil, CampaignOptions{Parallelism: 8},
 		func(s Site) (Outcome, error) {
 			seen[s.Thread].Store(true)
 			if s.Thread == failIdx {
@@ -126,7 +126,7 @@ func TestRunWithExecutesEverySiteBelowError(t *testing.T) {
 // consistent rate.
 func TestRunWithStats(t *testing.T) {
 	const n = 64
-	res, st, err := runWith(fakeSites(n), CampaignOptions{Parallelism: 3},
+	res, st, err := runWith(fakeSites(n), nil, CampaignOptions{Parallelism: 3},
 		func(s Site) (Outcome, error) { return SDC, nil })
 	if err != nil {
 		t.Fatal(err)
@@ -142,15 +142,20 @@ func TestRunWithStats(t *testing.T) {
 	}
 }
 
-// TestStatsSinkMerge: sinks accumulate across campaigns and keep the pool
-// high-water mark as a max.
+// TestStatsSinkMerge: sinks accumulate counters across campaigns and keep
+// the per-target checkpoint figures as a max.
 func TestStatsSinkMerge(t *testing.T) {
 	var sink StatsSink
-	sink.Add(CampaignStats{Runs: 10, Wall: time.Second, PagesCopied: 4, PeakPool: 2})
-	sink.Add(CampaignStats{Runs: 30, Wall: time.Second, PagesCopied: 1, PeakPool: 5})
+	sink.Add(CampaignStats{Runs: 10, Wall: time.Second, PagesCopied: 4, DevicesCreated: 2,
+		CTAsSkipped: 7, EarlyExits: 3, Checkpoints: 4, CheckpointBytes: 8192})
+	sink.Add(CampaignStats{Runs: 30, Wall: time.Second, PagesCopied: 1, DevicesCreated: 5,
+		CTAsSkipped: 1, EarlyExits: 1, Checkpoints: 2, CheckpointBytes: 4096})
 	got := sink.Total()
-	if got.Runs != 40 || got.Wall != 2*time.Second || got.PagesCopied != 5 || got.PeakPool != 5 {
+	if got.Runs != 40 || got.Wall != 2*time.Second || got.PagesCopied != 5 || got.DevicesCreated != 7 {
 		t.Fatalf("merged: %+v", got)
+	}
+	if got.CTAsSkipped != 8 || got.EarlyExits != 4 || got.Checkpoints != 4 || got.CheckpointBytes != 8192 {
+		t.Fatalf("merged fast-forward stats: %+v", got)
 	}
 	if got.RunsPerSec != 20 {
 		t.Fatalf("rate = %v, want 20", got.RunsPerSec)

@@ -1,0 +1,316 @@
+package fault_test
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/ptx"
+	"repro/internal/stats"
+)
+
+// chainHangTarget builds the adversarial multi-CTA kernel for checkpoint
+// equivalence: 4 CTAs of 8 threads with cross-CTA global-memory dependence
+// (each CTA accumulates into acc[tid], which the next CTA reads) plus a
+// predicate-guarded barrier split, so exhaustive injection reaches all four
+// outcomes — including barrier deadlocks (hangs) and address faults
+// (crashes) in any CTA.
+func chainHangTarget(t *testing.T) *fault.Target {
+	t.Helper()
+	prog, err := ptx.Assemble("chainhang", `
+		cvt.u32.u16 $r0, %tid.x
+		cvt.u32.u16 $r1, %ctaid.x
+		cvt.u32.u16 $r2, %ntid.x
+		mad.lo.u32 $r3, $r1, $r2, $r0      // gid
+		set.ge.u32.u32 $p0/$o127, $r0, 8   // never true fault-free
+		@$p0.ne bra lother
+		bar.sync 0x00000000
+		bra lwork
+		lother: bar.sync 0x00000001
+		lwork: shl.u32 $r4, $r0, 0x00000002
+		add.u32 $r4, $r4, s[0x0010]        // &acc[tid]
+		ld.global.u32 $r5, [$r4]
+		add.u32 $r5, $r5, $r3
+		add.u32 $r5, $r5, 0x00000001
+		st.global.u32 [$r4], $r5           // acc[tid] += gid+1
+		shl.u32 $r6, $r3, 0x00000002
+		add.u32 $r6, $r6, s[0x0014]        // &out[gid]
+		st.global.u32 [$r6], $r5
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpusim.NewDevice(32 + 4*32)
+	dev.WriteWords(0, []uint32{7, 11, 13, 17, 19, 23, 29, 31})
+	return &fault.Target{
+		Name:   "chainhang",
+		Prog:   prog,
+		Grid:   gpusim.Dim3{X: 4, Y: 1, Z: 1},
+		Block:  gpusim.Dim3{X: 8, Y: 1, Z: 1},
+		Params: []uint32{0, 32},
+		Init:   dev,
+		Output: []fault.Range{{Off: 0, Len: 32 + 4*32}},
+	}
+}
+
+// exhaustiveSites enumerates every fault site of the target.
+func exhaustiveSites(tg *fault.Target) []fault.WeightedSite {
+	space := fault.NewSpace(tg.Profile())
+	var sites []fault.Site
+	for th := 0; th < tg.Threads(); th++ {
+		sites = append(sites, space.ThreadSites(th, nil)...)
+	}
+	return fault.Uniform(sites)
+}
+
+// TestCheckpointMatchesFullRunExhaustive is the central equivalence property
+// of the fast-forward engine: on a cross-CTA-dependent kernel with reachable
+// crash and hang sites, the checkpointed campaign must give outcome-for-
+// outcome identical results to full runs from the pristine image — for every
+// site, at unit and non-unit checkpoint strides, under both schedulers, at
+// several parallelism levels.
+func TestCheckpointMatchesFullRunExhaustive(t *testing.T) {
+	type cfg struct {
+		name   string
+		stride int
+		warp   int
+		pars   []int
+	}
+	cfgs := []cfg{
+		{name: "stride1", stride: 1, pars: []int{1, 4}},
+		{name: "stride3", stride: 3, pars: []int{4}},
+		{name: "stride1-warp4", stride: 1, warp: 4, pars: []int{4}},
+	}
+	for _, c := range cfgs {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tg := chainHangTarget(t)
+			tg.CheckpointStride = c.stride
+			tg.WarpSize = c.warp
+			if err := tg.Prepare(); err != nil {
+				t.Fatal(err)
+			}
+			if tg.Checkpoints() == nil {
+				t.Fatal("no checkpoint store on a multi-CTA target")
+			}
+			sites := exhaustiveSites(tg)
+			if len(sites) < 1000 {
+				t.Fatalf("implausibly small exhaustive space: %d", len(sites))
+			}
+
+			// Reference: the full-run path (fresh clone, whole grid).
+			want := make([]fault.Outcome, len(sites))
+			seen := map[fault.Outcome]int{}
+			for i, ws := range sites {
+				o, err := tg.RunSite(ws.Site)
+				if err != nil {
+					t.Fatalf("reference %v: %v", ws.Site, err)
+				}
+				want[i] = o
+				seen[o]++
+			}
+			for _, o := range []fault.Outcome{fault.Masked, fault.SDC, fault.Crash, fault.Hang} {
+				if seen[o] == 0 {
+					t.Fatalf("exhaustive space reaches no %v outcome: %v", o, seen)
+				}
+			}
+
+			for _, par := range c.pars {
+				res, err := fault.Run(tg, sites, fault.CampaignOptions{
+					Parallelism: par, KeepPerSite: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if res.PerSite[i] != want[i] {
+						t.Fatalf("par %d: site %v gave %v, full run gave %v",
+							par, sites[i].Site, res.PerSite[i], want[i])
+					}
+				}
+				if res.Stats.CTAsSkipped == 0 {
+					t.Fatal("fast-forward never skipped a CTA")
+				}
+				if res.Stats.EarlyExits == 0 {
+					t.Fatal("no convergence early exits on a mostly-masked space")
+				}
+				wantSnaps := 1 + (4-1)/c.stride
+				if res.Stats.Checkpoints != wantSnaps {
+					t.Fatalf("stats report %d checkpoints, want %d", res.Stats.Checkpoints, wantSnaps)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointGaussianEquivalence covers the paper's cross-CTA-dependency
+// kernels: Gaussian Fan1 (2 CTAs) and Fan2 (4 CTAs) at small geometry. For a
+// deterministic site sample, the checkpointed campaign, the FullRun-option
+// campaign, and the per-site full-run reference must all agree, at unit and
+// non-unit strides.
+func TestCheckpointGaussianEquivalence(t *testing.T) {
+	for _, kname := range []string{"Gaussian K1", "Gaussian K2"} {
+		kname := kname
+		t.Run(kname, func(t *testing.T) {
+			spec, ok := kernels.ByName(kname)
+			if !ok {
+				t.Fatalf("kernel %q missing", kname)
+			}
+			for _, stride := range []int{1, 2} {
+				inst, err := spec.Build(kernels.ScaleSmall)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tg := inst.Target
+				tg.CheckpointStride = stride
+				if err := tg.Prepare(); err != nil {
+					t.Fatal(err)
+				}
+				space := fault.NewSpace(tg.Profile())
+				sites := fault.Uniform(space.Random(stats.NewRNG(41), 400))
+				// Exhaust two whole threads in different CTAs so every
+				// dynamic instruction, including address computations that
+				// crash under high-bit flips, is covered somewhere.
+				sites = append(sites, fault.Uniform(space.ThreadSites(0, nil))...)
+				sites = append(sites, fault.Uniform(space.ThreadSites(tg.Threads()-1, nil))...)
+
+				want := make([]fault.Outcome, len(sites))
+				for i, ws := range sites {
+					o, err := tg.RunSite(ws.Site)
+					if err != nil {
+						t.Fatalf("reference %v: %v", ws.Site, err)
+					}
+					want[i] = o
+				}
+
+				res, err := fault.Run(tg, sites, fault.CampaignOptions{Parallelism: 4, KeepPerSite: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// An independent instance with the fast-forward engine
+				// disabled: the reference path through the campaign engine.
+				finst, err := spec.Build(kernels.ScaleSmall)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ftg := finst.Target
+				ftg.FullRun = true
+				if err := ftg.Prepare(); err != nil {
+					t.Fatal(err)
+				}
+				fres, err := fault.Run(ftg, sites, fault.CampaignOptions{Parallelism: 4, KeepPerSite: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if res.PerSite[i] != want[i] {
+						t.Fatalf("stride %d: site %v: checkpoint %v, reference %v",
+							stride, sites[i].Site, res.PerSite[i], want[i])
+					}
+					if fres.PerSite[i] != want[i] {
+						t.Fatalf("full-run campaign: site %v: %v, reference %v",
+							sites[i].Site, fres.PerSite[i], want[i])
+					}
+				}
+				if res.Stats.CTAsSkipped == 0 || res.Stats.Checkpoints == 0 {
+					t.Fatalf("fast-forward inactive: %+v", res.Stats)
+				}
+				if fres.Stats.CTAsSkipped != 0 || fres.Stats.Checkpoints != 0 || fres.Stats.EarlyExits != 0 {
+					t.Fatalf("FullRun target still fast-forwarded: %+v", fres.Stats)
+				}
+				if ftg.Checkpoints() != nil {
+					t.Fatal("FullRun target built a checkpoint store")
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointSingleCTA: on a single-CTA kernel (LUD at small geometry)
+// checkpointing is a no-op — no store is built and campaigns still match the
+// full-run reference.
+func TestCheckpointSingleCTA(t *testing.T) {
+	spec, ok := kernels.ByName("LUD K46")
+	if !ok {
+		t.Fatal("LUD K46 missing")
+	}
+	inst, err := spec.Build(kernels.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := inst.Target
+	if err := tg.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if tg.Checkpoints() != nil {
+		t.Fatal("checkpoint store built for a 1-CTA grid")
+	}
+	space := fault.NewSpace(tg.Profile())
+	sites := fault.Uniform(space.Random(stats.NewRNG(43), 300))
+	want := make([]fault.Outcome, len(sites))
+	for i, ws := range sites {
+		o, err := tg.RunSite(ws.Site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = o
+	}
+	res, err := fault.Run(tg, sites, fault.CampaignOptions{Parallelism: 4, KeepPerSite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.PerSite[i] != want[i] {
+			t.Fatalf("site %v: %v, reference %v", sites[i].Site, res.PerSite[i], want[i])
+		}
+	}
+	if res.Stats.CTAsSkipped != 0 || res.Stats.EarlyExits != 0 || res.Stats.Checkpoints != 0 {
+		t.Fatalf("single-CTA campaign reports fast-forward work: %+v", res.Stats)
+	}
+}
+
+// TestWarpCampaignEquivalence is the -warp smoke test: a campaign under SIMT
+// lockstep scheduling (Target.WarpSize, as set by fsprune -warp) must give
+// site-for-site the same outcomes as the serial scheduler on a real kernel.
+func TestWarpCampaignEquivalence(t *testing.T) {
+	spec, ok := kernels.ByName("Gaussian K1")
+	if !ok {
+		t.Fatal("Gaussian K1 missing")
+	}
+	run := func(warp int) (*fault.CampaignResult, []fault.WeightedSite) {
+		inst, err := spec.Build(kernels.ScaleSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tg := inst.Target
+		tg.WarpSize = warp
+		if err := tg.Prepare(); err != nil {
+			t.Fatal(err)
+		}
+		space := fault.NewSpace(tg.Profile())
+		sites := fault.Uniform(space.Random(stats.NewRNG(97), 250))
+		res, err := fault.Run(tg, sites, fault.CampaignOptions{Parallelism: 4, KeepPerSite: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, sites
+	}
+	serial, sites := run(0)
+	warped, wsites := run(4)
+	if len(sites) != len(wsites) {
+		t.Fatal("site populations diverge between schedulers")
+	}
+	for i := range sites {
+		if sites[i] != wsites[i] {
+			t.Fatalf("site %d differs between schedulers", i)
+		}
+		if serial.PerSite[i] != warped.PerSite[i] {
+			t.Fatalf("site %v: serial %v, warp %v", sites[i].Site, serial.PerSite[i], warped.PerSite[i])
+		}
+	}
+	if serial.Dist != warped.Dist {
+		t.Fatalf("distributions diverge: %v vs %v", serial.Dist, warped.Dist)
+	}
+}

@@ -158,9 +158,7 @@ func (s *Space) MemAddrSites(t int, keep func(dyn int64) bool) []Site {
 }
 
 // RunModel executes a campaign of weighted sites under one fault model,
-// sharing Run's pooled parallel engine.
+// sharing Run's pooled parallel fast-forward engine.
 func RunModel(t *Target, sites []WeightedSite, model Model, opt CampaignOptions) (*CampaignResult, error) {
-	return t.runCampaign(sites, opt, func(t *Target, dev *gpusim.Device, s Site) (Outcome, error) {
-		return t.RunSiteModelOn(dev, s, model)
-	})
+	return t.runCampaign(sites, opt, model)
 }

@@ -167,9 +167,9 @@ func TestPooledMatchesFreshClone(t *testing.T) {
 					// The pool materializes at least one device; GC may
 					// drop pooled devices, so the only hard upper bound
 					// is one clone per run.
-					if res.Stats.PeakPool < 1 || int64(res.Stats.PeakPool) > res.Stats.Runs {
-						t.Fatalf("model %v par %d: peak pool %d out of [1, %d]",
-							model, par, res.Stats.PeakPool, res.Stats.Runs)
+					if res.Stats.DevicesCreated < 1 || int64(res.Stats.DevicesCreated) > res.Stats.Runs {
+						t.Fatalf("model %v par %d: devices created %d out of [1, %d]",
+							model, par, res.Stats.DevicesCreated, res.Stats.Runs)
 					}
 				}
 			}

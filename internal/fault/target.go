@@ -38,9 +38,25 @@ type Target struct {
 	// injection-run watchdog (hang detector). 0 means DefaultWatchdogFactor.
 	WatchdogFactor int64
 
+	// WarpSize selects the simulator's intra-CTA scheduler for every run of
+	// this target, golden and injected alike: 0 interleaves threads serially
+	// at barrier boundaries (the default), a positive value executes SIMT
+	// lockstep warps of that width (gpusim.Launch.WarpSize).
+	WarpSize int
+	// FullRun disables the checkpointed fast-forward engine: every campaign
+	// experiment re-executes the whole grid from the pristine device. The
+	// fast-forward engine is bit-identical to this path by construction (see
+	// DESIGN.md §3.2); the option exists as the verification and
+	// benchmarking reference.
+	FullRun bool
+	// CheckpointStride is the CTA-boundary distance between golden
+	// snapshots; 0 picks gpusim.AutoCheckpointStride from the grid size.
+	CheckpointStride int
+
 	golden   []byte
 	watchdog int64
 	profile  *trace.Profile
+	ckpt     *gpusim.Checkpoints
 }
 
 // DefaultWatchdogFactor multiplies the fault-free maximum thread iCnt to
@@ -60,6 +76,7 @@ func (t *Target) launch(inj *gpusim.Injection, tracer gpusim.Tracer, watchdog in
 		Watchdog:    watchdog,
 		Inject:      inj,
 		Tracer:      tracer,
+		WarpSize:    t.WarpSize,
 	}
 }
 
@@ -78,12 +95,21 @@ func (t *Target) Prepare() error {
 	}
 	tr := gpusim.NewProfileTrace(t.Threads())
 	dev := t.Init.Clone()
-	res, err := gpusim.Execute(dev, t.launch(nil, tr, 0))
+	launch := t.launch(nil, tr, 0)
+	var rec *gpusim.CheckpointRecorder
+	if numCTAs := t.Grid.Count(); !t.FullRun && numCTAs > 1 {
+		rec = gpusim.NewCheckpointRecorder(t.Init, dev, numCTAs, t.CheckpointStride)
+		launch.AfterCTA = rec.AfterCTA
+	}
+	res, err := gpusim.Execute(dev, launch)
 	if err != nil {
 		return fmt.Errorf("fault: target %s golden run: %w", t.Name, err)
 	}
 	if res.Trap != nil {
 		return fmt.Errorf("fault: target %s golden run trapped: %v", t.Name, res.Trap)
+	}
+	if rec != nil {
+		t.ckpt = rec.Finish()
 	}
 	t.golden = t.extractOutput(dev)
 
@@ -204,10 +230,11 @@ func (t *Target) classify(dev *gpusim.Device, res *gpusim.Result) Outcome {
 }
 
 // RunSite executes one fault-injection experiment on a fresh clone of the
-// pristine device and classifies its outcome. It validates against the
-// golden profile that the site denotes a destination-writing dynamic
-// instruction. Campaigns use the pooled runner (Run) instead, which reuses
-// devices via RunSiteOn.
+// pristine device, running the whole grid, and classifies its outcome. It
+// validates against the golden profile that the site denotes a
+// destination-writing dynamic instruction. This is the full-run reference
+// path; campaigns (Run) use the pooled checkpointed fast-forward engine,
+// which is bit-identical.
 func (t *Target) RunSite(site Site) (Outcome, error) {
 	if err := t.validateSite(site); err != nil {
 		return 0, err
@@ -215,10 +242,10 @@ func (t *Target) RunSite(site Site) (Outcome, error) {
 	return t.RunSiteOn(t.Init.Clone(), site)
 }
 
-// RunSiteOn executes one fault-injection experiment on the provided device,
-// which must hold the pristine initial state (a Clone of Init, or a pooled
-// device after ResetFrom). The device is left in its post-run state; the
-// caller owns resetting it before reuse.
+// RunSiteOn executes one full-grid fault-injection experiment on the
+// provided device, which must hold the pristine initial state (a Clone of
+// Init, or a pooled device after ResetFrom). The device is left in its
+// post-run state; the caller owns resetting it before reuse.
 func (t *Target) RunSiteOn(dev *gpusim.Device, site Site) (Outcome, error) {
 	if err := t.validateSite(site); err != nil {
 		return 0, err
@@ -229,6 +256,93 @@ func (t *Target) RunSiteOn(dev *gpusim.Device, site Site) (Outcome, error) {
 		return 0, err
 	}
 	return t.classify(dev, res), nil
+}
+
+// Checkpoints exposes the golden checkpoint store built by Prepare — nil
+// when fast-forwarding is disabled (FullRun) or the grid has a single CTA.
+func (t *Target) Checkpoints() *gpusim.Checkpoints { return t.ckpt }
+
+// runCost carries per-run fast-forward metrics out of injectOn.
+type runCost struct {
+	ctasSkipped int64
+	earlyExit   bool
+}
+
+// injectOn is the campaign hot path: one unchecked injection experiment on a
+// pooled device (the site must have been validated up front). It resets dev
+// itself — from the checkpoint snapshot nearest the injected CTA when the
+// target has a checkpoint store, from the pristine image otherwise.
+//
+// Fast-forward soundness (details in DESIGN.md §3.2): CTAs execute strictly
+// sequentially and share only global memory, and the simulator is
+// deterministic, so re-executing golden CTAs k..c-1 from the boundary-k
+// snapshot reproduces the full run's state at the injected CTA c exactly.
+// After c completes without a trap, if the run's global memory equals the
+// golden run's at boundary c+1 (Checkpoints.Converged over the run's dirty
+// pages), the remaining CTAs replay the golden run and the outcome is Masked
+// without executing them. A trap in a later CTA implies non-convergence at
+// c+1, so the early exit can never hide a crash or hang.
+func (t *Target) injectOn(dev *gpusim.Device, site Site, model Model) (Outcome, runCost, error) {
+	var cost runCost
+	inj := &gpusim.Injection{
+		Thread: site.Thread, DynInst: site.DynInst, Bit: site.Bit,
+		Kind: model.kind(),
+	}
+	launch := t.launch(inj, nil, t.watchdog)
+	ck := t.ckpt
+	if ck == nil {
+		dev.ResetFrom(t.Init)
+		res, err := gpusim.Execute(dev, launch)
+		if err != nil {
+			return 0, cost, err
+		}
+		return t.classify(dev, res), cost, nil
+	}
+
+	tpc := t.Block.Count()
+	cta := site.Thread / tpc
+	snap, first := ck.SnapshotFor(cta)
+	dev.ResetFrom(snap)
+	launch.FirstCTA = first
+	converged := false
+	if cta+1 < ck.NumCTAs() {
+		launch.AfterCTA = func(idx int) bool {
+			if idx != cta {
+				return false
+			}
+			if ck.Converged(dev, cta+1) {
+				converged = true
+				return true
+			}
+			return false
+		}
+	}
+	res, err := gpusim.Execute(dev, launch)
+	if err != nil {
+		return 0, cost, err
+	}
+	cost.ctasSkipped = int64(first)
+	// Skipped CTAs are bit-identical to golden; their iCnt comes from the
+	// profile so the Result stays equivalent to a full run's.
+	for th := 0; th < first*tpc; th++ {
+		c := t.profile.Threads[th].ICnt
+		res.ThreadICnt[th] = c
+		res.TotalDyn += c
+	}
+	if res.Trap != nil {
+		return t.classify(dev, res), cost, nil
+	}
+	if converged {
+		cost.earlyExit = true
+		cost.ctasSkipped += int64(ck.NumCTAs() - (cta + 1))
+		for th := (cta + 1) * tpc; th < len(res.ThreadICnt); th++ {
+			c := t.profile.Threads[th].ICnt
+			res.ThreadICnt[th] = c
+			res.TotalDyn += c
+		}
+		return Masked, cost, nil
+	}
+	return t.classify(dev, res), cost, nil
 }
 
 // DestBitsAt reports the destination width in bits of thread t's dynamic

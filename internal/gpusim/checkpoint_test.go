@@ -1,0 +1,242 @@
+package gpusim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/isa"
+	"repro/internal/ptx"
+)
+
+// chainSetup builds a 6-CTA kernel with cross-CTA global-memory dependence:
+// each thread accumulates into acc[tid] (shared by every CTA, so CTA c reads
+// what CTA c-1 wrote) and stores the running value to out[gid]. acc lives on
+// page 0 and out on page 1, so checkpoint page sets are non-trivial.
+func chainSetup(t *testing.T) (*isa.Program, *gpusim.Device) {
+	t.Helper()
+	prog, err := ptx.Assemble("chain", `
+		cvt.u32.u16 $r0, %tid.x
+		cvt.u32.u16 $r1, %ctaid.x
+		cvt.u32.u16 $r2, %ntid.x
+		mad.lo.u32 $r3, $r1, $r2, $r0      // gid
+		shl.u32 $r4, $r0, 0x00000002
+		add.u32 $r4, $r4, s[0x0010]        // &acc[tid]
+		ld.global.u32 $r5, [$r4]
+		add.u32 $r5, $r5, $r3
+		add.u32 $r5, $r5, 0x00000001
+		st.global.u32 [$r4], $r5           // acc[tid] += gid+1
+		shl.u32 $r6, $r3, 0x00000002
+		add.u32 $r6, $r6, s[0x0014]        // &out[gid]
+		st.global.u32 [$r6], $r5
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpusim.NewDevice(2 * gpusim.PageSize)
+	dev.WriteWords(0, []uint32{100, 200, 300, 400})
+	return prog, dev
+}
+
+func chainLaunch(prog *isa.Program) *gpusim.Launch {
+	return &gpusim.Launch{
+		Prog:   prog,
+		Grid:   gpusim.Dim3{X: 6, Y: 1, Z: 1},
+		Block:  gpusim.Dim3{X: 4, Y: 1, Z: 1},
+		Params: []uint32{0, gpusim.PageSize},
+	}
+}
+
+// TestExecuteFirstCTAResume: stopping a launch at a CTA boundary and resuming
+// from FirstCTA on the same device must reproduce the uninterrupted run
+// bit-for-bit, for every split point and under both schedulers.
+func TestExecuteFirstCTAResume(t *testing.T) {
+	prog, init := chainSetup(t)
+	for _, warp := range []int{0, 4} {
+		full := init.Clone()
+		l := chainLaunch(prog)
+		l.WarpSize = warp
+		res, err := gpusim.Execute(full, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trap != nil {
+			t.Fatalf("warp %d: golden trap: %v", warp, res.Trap)
+		}
+		if res.CTAsExecuted != 6 {
+			t.Fatalf("warp %d: executed %d CTAs, want 6", warp, res.CTAsExecuted)
+		}
+		want := full.Bytes()
+
+		for split := 1; split < 6; split++ {
+			dev := init.Clone()
+			head := chainLaunch(prog)
+			head.WarpSize = warp
+			head.AfterCTA = func(cta int) bool { return cta == split-1 }
+			hres, err := gpusim.Execute(dev, head)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hres.CTAsExecuted != split {
+				t.Fatalf("split %d: head executed %d CTAs", split, hres.CTAsExecuted)
+			}
+			tail := chainLaunch(prog)
+			tail.WarpSize = warp
+			tail.FirstCTA = split
+			tres, err := gpusim.Execute(dev, tail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tres.Trap != nil {
+				t.Fatalf("split %d: tail trap: %v", split, tres.Trap)
+			}
+			if tres.CTAsExecuted != 6-split {
+				t.Fatalf("split %d: tail executed %d CTAs", split, tres.CTAsExecuted)
+			}
+			if !bytes.Equal(dev.Bytes(), want) {
+				t.Fatalf("warp %d split %d: resumed memory differs from full run", warp, split)
+			}
+			// Head and tail iCnt tile the full run's without overlap.
+			for th := range res.ThreadICnt {
+				got := hres.ThreadICnt[th] + tres.ThreadICnt[th]
+				if got != res.ThreadICnt[th] {
+					t.Fatalf("split %d thread %d: iCnt %d+%d != %d",
+						split, th, hres.ThreadICnt[th], tres.ThreadICnt[th], res.ThreadICnt[th])
+				}
+				if hres.ThreadICnt[th] != 0 && tres.ThreadICnt[th] != 0 {
+					t.Fatalf("split %d thread %d ran in both halves", split, th)
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteFirstCTAValidation: out-of-grid resume points are launch errors.
+func TestExecuteFirstCTAValidation(t *testing.T) {
+	prog, init := chainSetup(t)
+	for _, first := range []int{-1, 6, 100} {
+		l := chainLaunch(prog)
+		l.FirstCTA = first
+		if _, err := gpusim.Execute(init.Clone(), l); err == nil {
+			t.Fatalf("FirstCTA %d accepted", first)
+		}
+	}
+}
+
+func TestAutoCheckpointStride(t *testing.T) {
+	cases := []struct{ ctas, want int }{
+		{1, 1}, {2, 1}, {16, 1}, {17, 2}, {32, 2}, {33, 3}, {160, 10}, {1000, 63},
+	}
+	for _, c := range cases {
+		if got := gpusim.AutoCheckpointStride(c.ctas); got != c.want {
+			t.Fatalf("AutoCheckpointStride(%d) = %d, want %d", c.ctas, got, c.want)
+		}
+		// The implied snapshot count stays bounded.
+		stride := gpusim.AutoCheckpointStride(c.ctas)
+		snaps := 1 + (c.ctas-1)/stride
+		if snaps > gpusim.DefaultCheckpointSnapshots+1 {
+			t.Fatalf("numCTAs %d stride %d: %d snapshots", c.ctas, stride, snaps)
+		}
+	}
+}
+
+// TestHashPageHighBitDiffusion: equal deltas confined to the top bits of two
+// different words must change the page hash. A plain XOR-multiply fold fails
+// this — the multiply never diffuses top-bit deltas downward, so the second
+// flip cancels the first (delta 2^63·p^k mod 2^64 = 2^63 for odd p) and a
+// corrupted page would be declared converged.
+func TestHashPageHighBitDiffusion(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.PageSize)
+	h0 := dev.HashPage(0)
+	dev.WriteBytes(7, []byte{0x80})
+	dev.WriteBytes(15, []byte{0x80})
+	if dev.HashPage(0) == h0 {
+		t.Fatal("paired top-bit flips cancel in HashPage")
+	}
+	// The same 32-bit corruption at two word-aligned offsets (the pattern a
+	// cross-CTA accumulator kernel actually produces) must also be visible.
+	dev2 := gpusim.NewDevice(gpusim.PageSize)
+	h2 := dev2.HashPage(0)
+	dev2.WriteWords(4, []uint32{0x40000000})
+	dev2.WriteWords(36, []uint32{0x40000000})
+	if dev2.HashPage(0) == h2 {
+		t.Fatal("paired word corruptions cancel in HashPage")
+	}
+}
+
+// TestCheckpointRecorder: snapshots must equal the corresponding full-run
+// prefix states, golden replays from any snapshot must converge at every
+// later boundary, and corrupted state must not converge.
+func TestCheckpointRecorder(t *testing.T) {
+	prog, init := chainSetup(t)
+	const numCTAs = 6
+	for _, stride := range []int{1, 2, 3} {
+		golden := init.Clone()
+		rec := gpusim.NewCheckpointRecorder(init, golden, numCTAs, stride)
+		l := chainLaunch(prog)
+		l.AfterCTA = rec.AfterCTA
+		res, err := gpusim.Execute(golden, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trap != nil {
+			t.Fatalf("golden trap: %v", res.Trap)
+		}
+		ck := rec.Finish()
+
+		wantSnaps := 1 + (numCTAs-1)/stride
+		if ck.Count() != wantSnaps {
+			t.Fatalf("stride %d: %d snapshots, want %d", stride, ck.Count(), wantSnaps)
+		}
+		if ck.Stride() != stride || ck.NumCTAs() != numCTAs {
+			t.Fatalf("stride %d: store reports stride %d, %d CTAs", stride, ck.Stride(), ck.NumCTAs())
+		}
+		if ck.Bytes() < 0 {
+			t.Fatalf("negative checkpoint bytes")
+		}
+
+		// Each snapshot equals an independently executed prefix.
+		for cta := 0; cta < numCTAs; cta++ {
+			snap, first := ck.SnapshotFor(cta)
+			if first > cta || first%stride != 0 {
+				t.Fatalf("SnapshotFor(%d) boundary %d", cta, first)
+			}
+			ref := init.Clone()
+			if first > 0 {
+				pl := chainLaunch(prog)
+				pl.AfterCTA = func(c int) bool { return c == first-1 }
+				if _, err := gpusim.Execute(ref, pl); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(snap.Bytes(), ref.Bytes()) {
+				t.Fatalf("stride %d: snapshot at boundary %d differs from prefix run", stride, first)
+			}
+		}
+
+		// A golden replay resumed from any CTA's snapshot converges at the
+		// next boundary (and the boundary after the last CTA is the final
+		// state, never queried through Converged).
+		for cta := 0; cta+1 < numCTAs; cta++ {
+			snap, first := ck.SnapshotFor(cta)
+			w := init.Clone()
+			w.ResetFrom(snap)
+			rl := chainLaunch(prog)
+			rl.FirstCTA = first
+			rl.AfterCTA = func(c int) bool { return c == cta }
+			if _, err := gpusim.Execute(w, rl); err != nil {
+				t.Fatal(err)
+			}
+			if !ck.Converged(w, cta+1) {
+				t.Fatalf("stride %d: golden replay does not converge at boundary %d", stride, cta+1)
+			}
+			// Any corruption — in a page the replay wrote or not — must
+			// break convergence.
+			w.WriteBytes(gpusim.PageSize-1, []byte{0x5A})
+			if ck.Converged(w, cta+1) {
+				t.Fatalf("stride %d: corrupted state converges at boundary %d", stride, cta+1)
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ package gpusim
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/isa"
@@ -78,6 +79,19 @@ type Launch struct {
 	// identical across modes for race-free kernels; the warp mode exists
 	// to validate exactly that.
 	WarpSize int
+	// FirstCTA resumes the launch at the CTA with this linear index
+	// (ctaid.z-major order, as Execute iterates). CTAs before it are skipped
+	// entirely: the device must already hold their global-memory effects
+	// (typically restored from a checkpoint snapshot), and their ThreadICnt
+	// entries stay zero. CTAs do not share thread or shared-memory state, so
+	// a resumed suffix is bit-identical to the same suffix of a full run.
+	FirstCTA int
+	// AfterCTA, when non-nil, is invoked after each CTA completes without a
+	// trap, with the CTA's linear index. Returning true stops the launch
+	// early: remaining CTAs are not executed and the Result reflects
+	// progress so far. Checkpoint capture and golden-state convergence
+	// checks hook here.
+	AfterCTA func(cta int) bool
 }
 
 // InjectKind selects the fault model applied at the injection point.
@@ -176,10 +190,16 @@ type Result struct {
 	// Trap is nil for a clean run.
 	Trap *Trap
 	// ThreadICnt is the per-flat-thread dynamic instruction count (the
-	// paper's iCnt). On a trapped run it reflects progress made so far.
+	// paper's iCnt). On a trapped run it reflects progress made so far;
+	// threads of CTAs skipped via Launch.FirstCTA or an AfterCTA early stop
+	// stay at zero.
 	ThreadICnt []int64
 	// TotalDyn is the sum of ThreadICnt.
 	TotalDyn int64
+	// CTAsExecuted is the number of CTAs the launch actually ran — smaller
+	// than the grid when FirstCTA skipped a prefix, AfterCTA stopped the
+	// launch early, or a trap aborted it.
+	CTAsExecuted int
 }
 
 // Global memory page geometry. Pages are the copy-on-write granule: a Clone
@@ -216,6 +236,11 @@ type Device struct {
 	// privatizations plus ResetFrom restores) since the last
 	// TakePagesCopied.
 	pagesCopied int64
+	// src is the frozen image this device was cloned from or last reset
+	// from. ResetFrom uses it to detect a source switch (resetting a pooled
+	// device from a different checkpoint snapshot), which requires restoring
+	// every owned page, not just the dirty ones.
+	src *Device
 
 	// Const is the read-only constant segment.
 	Const []byte
@@ -256,6 +281,7 @@ func (d *Device) Clone() *Device {
 		pages: append([][]byte(nil), d.pages...),
 		owned: make([]bool, len(d.pages)),
 		dirty: make([]bool, len(d.pages)),
+		src:   d,
 	}
 	if d.Const != nil {
 		nd.Const = append([]byte(nil), d.Const...)
@@ -292,17 +318,34 @@ func (d *Device) privatize(p int) {
 	d.dirtyIdx = append(d.dirtyIdx, int32(p))
 }
 
-// ResetFrom restores the device to the content of src, which must be the
-// (frozen, unmodified) device this one was cloned from — typically a
-// campaign's pristine image. Only pages dirtied since the last reset are
-// copied; already-private clean pages are left in place, so a pooled device
-// converges to one page copy per page a run actually writes. src must not be
-// written while devices reset from it remain in use.
+// ResetFrom restores the device to the content of src, a frozen same-size
+// image — typically the device this one was cloned from, or a checkpoint
+// snapshot taken during the golden run. When src is the device's current
+// source, only pages dirtied since the last reset are copied; already-private
+// clean pages are left in place, so a pooled device converges to one page
+// copy per page a run actually writes. Resetting from a *different* source
+// restores every owned page (a clean private page may still hold the old
+// source's content). src must not be written while devices reset from it
+// remain in use.
 func (d *Device) ResetFrom(src *Device) {
 	if d.size != src.size {
 		panic(fmt.Sprintf("gpusim: ResetFrom size mismatch: %d vs %d", d.size, src.size))
 	}
 	src.freeze()
+	if d.src != src {
+		for p := range d.pages {
+			if d.owned[p] {
+				copy(d.pages[p], src.pages[p])
+				d.dirty[p] = false
+				d.pagesCopied++
+			} else {
+				d.pages[p] = src.pages[p]
+			}
+		}
+		d.dirtyIdx = d.dirtyIdx[:0]
+		d.src = src
+		return
+	}
 	for _, p := range d.dirtyIdx {
 		copy(d.pages[p], src.pages[p])
 		d.dirty[p] = false
@@ -325,6 +368,56 @@ func (d *Device) TakePagesCopied() int64 {
 	n := d.pagesCopied
 	d.pagesCopied = 0
 	return n
+}
+
+// NumPages is the number of global-memory pages (see PageSize).
+func (d *Device) NumPages() int { return len(d.pages) }
+
+// DirtyPages returns the indices of pages written since the last ResetFrom
+// (or TakeDirtyPages). The returned slice aliases internal state: treat it
+// as read-only and invalid after the next store or reset.
+func (d *Device) DirtyPages() []int32 { return d.dirtyIdx }
+
+// TakeDirtyPages appends the indices of pages written since the last harvest
+// to buf[:0] and re-arms dirty tracking without copying anything: a later
+// store to the same page reports it again. This is how the golden run's
+// checkpoint recorder observes per-CTA write sets. It breaks the dirty-page
+// bookkeeping ResetFrom relies on, so it must only be used on devices that
+// are never reset (the golden device is executed once and discarded).
+func (d *Device) TakeDirtyPages(buf []int32) []int32 {
+	buf = append(buf[:0], d.dirtyIdx...)
+	for _, p := range buf {
+		d.dirty[p] = false
+	}
+	d.dirtyIdx = d.dirtyIdx[:0]
+	return buf
+}
+
+// HashPage returns a 64-bit hash of page p's content, folding eight bytes per
+// step. It identifies pages whose content matches the golden run's; a
+// collision (probability ~2^-64 per comparison for independent contents)
+// would misclassify one injection outcome — see DESIGN.md §3.2.
+//
+// Each word is passed through a full-avalanche finalizer (murmur3 fmix64)
+// before the FNV-style fold. Folding raw words would be unsound: the fold's
+// multiply only diffuses deltas upward, so a difference confined to a word's
+// top bits survives as ±2^k and an equal top-bit delta in a later word
+// cancels it — e.g. the same wrong 32-bit value stored at two aligned
+// offsets 32 bytes apart hashes identically to the clean page.
+func (d *Device) HashPage(p int) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	pg := d.pages[p]
+	for i := 0; i < PageSize; i += 8 {
+		w := binary.LittleEndian.Uint64(pg[i:])
+		w ^= w >> 33
+		w *= 0xff51afd7ed558ccd
+		w ^= w >> 33
+		w *= 0xc4ceb9fe1a85ec53
+		w ^= w >> 33
+		h = (h ^ w) * prime
+	}
+	return h
 }
 
 // loadMem reads a w-byte little-endian value at addr. The caller has

@@ -47,51 +47,60 @@ func Execute(dev *Device, launch *Launch) (*Result, error) {
 		addrFlipBit: -1,
 	}
 
-	nThreads := launch.Grid.Count() * launch.Block.Count()
+	nCTA := launch.Grid.Count()
+	if launch.FirstCTA < 0 || launch.FirstCTA >= nCTA {
+		return nil, fmt.Errorf("gpusim: FirstCTA %d outside grid of %d CTAs", launch.FirstCTA, nCTA)
+	}
+
+	nThreads := nCTA * launch.Block.Count()
 	res := &Result{ThreadICnt: make([]int64, nThreads)}
 
 	threadsPerCTA := launch.Block.Count()
-	gx, gy, gz := max(launch.Grid.X, 1), max(launch.Grid.Y, 1), max(launch.Grid.Z, 1)
+	gx, gy := max(launch.Grid.X, 1), max(launch.Grid.Y, 1)
 	bx, by, bz := max(launch.Block.X, 1), max(launch.Block.Y, 1), max(launch.Block.Z, 1)
 
-	ctaIndex := 0
-	for cz := 0; cz < gz; cz++ {
-		for cy := 0; cy < gy; cy++ {
-			for cx := 0; cx < gx; cx++ {
-				cta := &ctaState{shared: make([]byte, sharedBytes)}
-				for i, p := range launch.Params {
-					putWord(cta.shared, ParamBase+4*i, p)
+	// CTAs run in ctaid.z-major, x-minor launch order; ctaIndex is the
+	// linear position in that order, decoded back into grid coordinates so
+	// a launch can resume at an arbitrary CTA (Launch.FirstCTA).
+	for ctaIndex := launch.FirstCTA; ctaIndex < nCTA; ctaIndex++ {
+		cx := ctaIndex % gx
+		cy := (ctaIndex / gx) % gy
+		cz := ctaIndex / (gx * gy)
+		cta := &ctaState{shared: make([]byte, sharedBytes)}
+		for i, p := range launch.Params {
+			putWord(cta.shared, ParamBase+4*i, p)
+		}
+		base := ctaIndex * threadsPerCTA
+		tLinear := 0
+		for tz := 0; tz < bz; tz++ {
+			for ty := 0; ty < by; ty++ {
+				for tx := 0; tx < bx; tx++ {
+					cta.threads = append(cta.threads, &threadState{
+						flat:  base + tLinear,
+						tid:   Dim3{tx, ty, tz},
+						ctaid: Dim3{cx, cy, cz},
+					})
+					tLinear++
 				}
-				base := ctaIndex * threadsPerCTA
-				tLinear := 0
-				for tz := 0; tz < bz; tz++ {
-					for ty := 0; ty < by; ty++ {
-						for tx := 0; tx < bx; tx++ {
-							cta.threads = append(cta.threads, &threadState{
-								flat:  base + tLinear,
-								tid:   Dim3{tx, ty, tz},
-								ctaid: Dim3{cx, cy, cz},
-							})
-							tLinear++
-						}
-					}
-				}
-				var trap *Trap
-				if launch.WarpSize > 0 {
-					trap = e.runCTAWarped(cta, launch.WarpSize)
-				} else {
-					trap = e.runCTA(cta)
-				}
-				for _, th := range cta.threads {
-					res.ThreadICnt[th.flat] = th.dynCount
-					res.TotalDyn += th.dynCount
-				}
-				if trap != nil {
-					res.Trap = trap
-					return res, nil
-				}
-				ctaIndex++
 			}
+		}
+		var trap *Trap
+		if launch.WarpSize > 0 {
+			trap = e.runCTAWarped(cta, launch.WarpSize)
+		} else {
+			trap = e.runCTA(cta)
+		}
+		for _, th := range cta.threads {
+			res.ThreadICnt[th.flat] = th.dynCount
+			res.TotalDyn += th.dynCount
+		}
+		res.CTAsExecuted++
+		if trap != nil {
+			res.Trap = trap
+			return res, nil
+		}
+		if launch.AfterCTA != nil && launch.AfterCTA(ctaIndex) {
+			return res, nil
 		}
 	}
 	return res, nil

@@ -140,21 +140,29 @@ func NewKernelProfile(name string, prof *trace.Profile) KernelProfile {
 
 // Campaign is the JSON summary of a campaign's execution stats.
 type Campaign struct {
-	Runs        int64   `json:"runs"`
-	WallMS      float64 `json:"wall_ms"`
-	RunsPerSec  float64 `json:"runs_per_sec"`
-	PagesCopied int64   `json:"pages_copied"`
-	PeakPool    int     `json:"peak_pool"`
+	Runs            int64   `json:"runs"`
+	WallMS          float64 `json:"wall_ms"`
+	RunsPerSec      float64 `json:"runs_per_sec"`
+	PagesCopied     int64   `json:"pages_copied"`
+	DevicesCreated  int     `json:"devices_created"`
+	CTAsSkipped     int64   `json:"ctas_skipped,omitempty"`
+	EarlyExits      int64   `json:"early_exits,omitempty"`
+	Checkpoints     int     `json:"checkpoints,omitempty"`
+	CheckpointBytes int64   `json:"checkpoint_bytes,omitempty"`
 }
 
 // NewCampaign converts fault.CampaignStats.
 func NewCampaign(s fault.CampaignStats) Campaign {
 	return Campaign{
-		Runs:        s.Runs,
-		WallMS:      float64(s.Wall.Microseconds()) / 1000,
-		RunsPerSec:  s.RunsPerSec,
-		PagesCopied: s.PagesCopied,
-		PeakPool:    s.PeakPool,
+		Runs:            s.Runs,
+		WallMS:          float64(s.Wall.Microseconds()) / 1000,
+		RunsPerSec:      s.RunsPerSec,
+		PagesCopied:     s.PagesCopied,
+		DevicesCreated:  s.DevicesCreated,
+		CTAsSkipped:     s.CTAsSkipped,
+		EarlyExits:      s.EarlyExits,
+		Checkpoints:     s.Checkpoints,
+		CheckpointBytes: s.CheckpointBytes,
 	}
 }
 

@@ -88,13 +88,19 @@ func TestPlanAndProfileDocuments(t *testing.T) {
 	}
 	var base fault.Dist
 	base.Add(fault.Masked, 1)
-	stats := fault.CampaignStats{Runs: 7, Wall: time.Millisecond, PagesCopied: 3, PeakPool: 2}
+	stats := fault.CampaignStats{Runs: 7, Wall: time.Millisecond, PagesCopied: 3,
+		DevicesCreated: 2, CTAsSkipped: 5, EarlyExits: 1, Checkpoints: 3, CheckpointBytes: 4096}
 	doc = report.NewEstimate(plan, est, &base, &stats)
 	if doc.Baseline == nil || doc.MaxDeltaPP == nil {
 		t.Fatal("baseline fields missing")
 	}
 	if doc.Campaign == nil || doc.Campaign.Runs != 7 || doc.Campaign.WallMS != 1 {
 		t.Fatalf("campaign stats: %+v", doc.Campaign)
+	}
+	if doc.Campaign.DevicesCreated != 2 || doc.Campaign.CTAsSkipped != 5 ||
+		doc.Campaign.EarlyExits != 1 || doc.Campaign.Checkpoints != 3 ||
+		doc.Campaign.CheckpointBytes != 4096 {
+		t.Fatalf("fast-forward stats: %+v", doc.Campaign)
 	}
 
 	var buf bytes.Buffer
