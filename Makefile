@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench bench-full
+# The perf trajectory across PRs: `make bench` records the current tree as
+# $(BENCH_OUT); `make ci` (via bench-check) fails when any benchmark present
+# in both files regressed more than 25% against $(BENCH_PREV).
+BENCH_PREV ?= BENCH_pr2.json
+BENCH_OUT  ?= BENCH_pr3.json
 
-ci: vet build race bench-smoke
+.PHONY: ci vet build test race campaign-smoke bench-smoke bench bench-check bench-full
+
+ci: vet build race campaign-smoke bench-check
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +22,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The durability differentials under the race detector: interrupt-and-resume
+# bit-identity and shard-merge equality.
+campaign-smoke:
+	$(GO) test -race -run 'TestCampaignInterruptResume|TestCampaignShardMerge' ./internal/fault
+
 # One iteration of the headline benchmark, piped through benchjson: catches
 # gross regressions and panics in the campaign engine (and keeps the JSON
 # extractor building) without a full benchmark run.
@@ -23,10 +34,14 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable2$$' -benchtime 1x . | $(GO) run ./cmd/benchjson > /dev/null
 
 # Table/figure and campaign-engine benchmarks in smoke mode (one iteration
-# each), recorded as ns/op per benchmark in BENCH_pr2.json — the perf
-# trajectory across PRs.
+# each), recorded as ns/op per benchmark in $(BENCH_OUT).
 bench:
-	$(GO) test -run '^$$' -bench '^Benchmark(Table|Fig|Campaign)' -benchtime 1x . | $(GO) run ./cmd/benchjson > BENCH_pr2.json
+	$(GO) test -run '^$$' -bench '^Benchmark(Table|Fig|Campaign)' -benchtime 1x . | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+
+# Regression gate: rerun the benchmarks and diff against the previous PR's
+# recording; any >25% slowdown fails with a readable per-benchmark report.
+bench-check: bench
+	$(GO) run ./cmd/benchdiff -max-regress 25 $(BENCH_PREV) $(BENCH_OUT)
 
 # The full benchmark suite with allocation stats (slow).
 bench-full:

@@ -141,10 +141,13 @@ func BenchmarkInjectionRun(b *testing.B) {
 }
 
 // benchCampaign times a fixed 512-site campaign on GEMM K1 (4 CTAs) with the
-// checkpointed fast-forward engine on or off. The pair quantifies the
-// speedup from skipping fault-free prefix CTAs and early-exiting on golden-
-// state convergence; run back to back on the same machine for the ratio.
-func benchCampaign(b *testing.B, fullRun bool) {
+// checkpointed fast-forward engine on or off, under a given fault model.
+// Each checkpoint/full-run pair quantifies the speedup from skipping
+// fault-free prefix CTAs and early-exiting on golden-state convergence; run
+// back to back on the same machine for the ratio. Dest-value and dest-double
+// share the site sample; mem-addr enumerates its own site kind (one site per
+// address bit per dynamic memory instruction) over a thread cross-section.
+func benchCampaign(b *testing.B, fullRun bool, model fault.Model) {
 	spec, _ := kernels.ByName("GEMM K1")
 	inst, err := spec.Build(kernels.ScaleSmall)
 	if err != nil {
@@ -155,18 +158,36 @@ func benchCampaign(b *testing.B, fullRun bool) {
 		b.Fatal(err)
 	}
 	space := fault.NewSpace(inst.Target.Profile())
-	sites := fault.Uniform(space.Random(stats.NewRNG(7), 512))
+	var sites []fault.WeightedSite
+	if model == fault.ModelMemAddr {
+		var raw []fault.Site
+		for t := 0; t < inst.Target.Threads() && len(raw) < 512; t += 7 {
+			raw = append(raw, space.MemAddrSites(t, nil)...)
+		}
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		sites = fault.Uniform(raw)
+	} else {
+		sites = fault.Uniform(space.Random(stats.NewRNG(7), 512))
+	}
 	opt := fault.CampaignOptions{Parallelism: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fault.Run(inst.Target, sites, opt); err != nil {
+		if _, err := fault.RunModel(inst.Target, sites, model, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func BenchmarkCampaignCheckpoint(b *testing.B) { benchCampaign(b, false) }
-func BenchmarkCampaignFullRun(b *testing.B)    { benchCampaign(b, true) }
+func BenchmarkCampaignCheckpoint(b *testing.B) { benchCampaign(b, false, fault.ModelDestValue) }
+func BenchmarkCampaignFullRun(b *testing.B)    { benchCampaign(b, true, fault.ModelDestValue) }
+
+func BenchmarkCampaignCheckpointDouble(b *testing.B) { benchCampaign(b, false, fault.ModelDestDouble) }
+func BenchmarkCampaignFullRunDouble(b *testing.B)    { benchCampaign(b, true, fault.ModelDestDouble) }
+
+func BenchmarkCampaignCheckpointMemAddr(b *testing.B) { benchCampaign(b, false, fault.ModelMemAddr) }
+func BenchmarkCampaignFullRunMemAddr(b *testing.B)    { benchCampaign(b, true, fault.ModelMemAddr) }
 
 // BenchmarkBuildPlan measures the pruning pipeline itself (no injections):
 // profiling reuse, grouping, diffing, sampling, site materialization.

@@ -1,0 +1,100 @@
+// Command benchdiff compares two benchjson outputs (benchmark name -> ns/op)
+// and fails when any benchmark present in both regressed beyond the allowed
+// percentage. It is the CI gate that keeps the perf trajectory across PRs
+// honest: BENCH_prN.json files are recorded by `make bench`, and `make ci`
+// diffs the fresh run against the previous PR's file.
+//
+// Usage:
+//
+//	benchdiff -max-regress 25 BENCH_pr2.json BENCH_pr3.json
+//
+// Benchmarks present in only one file (added or retired) are listed but
+// never fail the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 25, "allowed slowdown in percent before failing")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRes, err := load(flag.Arg(0))
+	fatal(err)
+	newRes, err := load(flag.Arg(1))
+	fatal(err)
+
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		prev := oldRes[name]
+		cur, ok := newRes[name]
+		if !ok {
+			fmt.Printf("gone     %-36s (was %s)\n", name, ms(prev))
+			continue
+		}
+		if prev <= 0 {
+			continue
+		}
+		delta := 100 * (cur - prev) / prev
+		if delta > *maxRegress {
+			regressions++
+			fmt.Printf("REGRESS  %-36s %s -> %s (%+.1f%%, limit %+.1f%%)\n",
+				name, ms(prev), ms(cur), delta, *maxRegress)
+		} else {
+			fmt.Printf("ok       %-36s %s -> %s (%+.1f%%)\n", name, ms(prev), ms(cur), delta)
+		}
+	}
+	added := make([]string, 0)
+	for name := range newRes {
+		if _, ok := oldRes[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("new      %-36s %s (no baseline)\n", name, ms(newRes[name]))
+	}
+
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.1f%% vs %s\n",
+			regressions, *maxRegress, flag.Arg(0))
+		os.Exit(1)
+	}
+}
+
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func ms(ns float64) string {
+	return fmt.Sprintf("%.1fms", ns/1e6)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

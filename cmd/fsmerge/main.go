@@ -1,0 +1,108 @@
+// Command fsmerge recombines the outcome journals of a sharded injection
+// campaign (fsprune -action campaign -shard i/n -journal ...) into the
+// single-process result. It validates that every journal belongs to the same
+// campaign (identical fingerprint up to the shard id), that shards are
+// distinct and their site indices disjoint, and — unless -allow-partial —
+// that all n shards are present and fully cover the site list.
+//
+// Usage:
+//
+//	fsmerge s0.journal s1.journal
+//	fsmerge -json merged.json s0.journal s1.journal
+//	fsmerge -allow-partial s0.journal
+//
+// Records are aggregated in site-index order, so the merged distribution is
+// bit-identical to the unsharded campaign's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fault"
+	"repro/internal/journal"
+	"repro/internal/report"
+)
+
+func main() {
+	jsonPath := flag.String("json", "", "also write the merged report as JSON to this file (- for stdout)")
+	allowPartial := flag.Bool("allow-partial", false, "accept missing shards or incomplete shard journals")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: fsmerge [-json out.json] [-allow-partial] journal...")
+		os.Exit(2)
+	}
+
+	fp, recs, err := journal.Merge(flag.Args(), *allowPartial)
+	fatal(err)
+
+	// Records arrive sorted by site index; aggregating in that order
+	// reproduces the engine's input-order float summation exactly.
+	var dist fault.Dist
+	var stats fault.CampaignStats
+	quarantined := 0
+	for _, r := range recs {
+		o := fault.Outcome(r.Outcome)
+		if !o.Valid() {
+			fatal(fmt.Errorf("fsmerge: record for site %d holds unknown outcome %d", r.Index, r.Outcome))
+		}
+		dist.Add(o, r.Weight)
+		stats.Runs += int64(r.Attempts)
+		stats.CTAsSkipped += r.CTAsSkipped
+		if r.EarlyExit {
+			stats.EarlyExits++
+		}
+		if r.Attempts > 1 {
+			stats.Retries += int64(r.Attempts - 1)
+		}
+		if r.Err != "" {
+			stats.Quarantined++
+			quarantined++
+		}
+	}
+
+	doc := report.Merged{
+		Kernel:      fp.Kernel,
+		Scale:       fp.Scale,
+		Seed:        fp.Seed,
+		Model:       fp.Model,
+		Shards:      fp.ShardCount,
+		Sites:       fp.Sites,
+		Completed:   len(recs),
+		Quarantined: quarantined,
+		Profile:     report.NewProfile(dist),
+		Campaign:    report.NewCampaign(stats),
+	}
+
+	fmt.Printf("%s (%s) seed %d model %s: merged %d shard journals\n",
+		fp.Kernel, fp.Scale, fp.Seed, fp.Model, flag.NArg())
+	fmt.Printf("sites: %d of %d completed", len(recs), fp.Sites)
+	if quarantined > 0 {
+		fmt.Printf(" (%d quarantined)", quarantined)
+	}
+	fmt.Println()
+	fmt.Printf("profile: %s\n", dist)
+
+	switch *jsonPath {
+	case "":
+	case "-":
+		fatal(report.Write(os.Stdout, doc))
+	default:
+		f, err := os.Create(*jsonPath)
+		fatal(err)
+		err = report.Write(f, doc)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fatal(err)
+		fmt.Printf("report written to %s\n", *jsonPath)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,7 @@
 // Command fsprune drives the fault-site pruning pipeline on one kernel:
 // profile it, enumerate its exhaustive fault-site space, build the pruned
-// plan, and estimate its error resilience profile against a random baseline.
+// plan, estimate its error resilience profile against a random baseline, or
+// run a durable, resumable injection campaign.
 //
 // Usage:
 //
@@ -8,16 +9,28 @@
 //	fsprune -kernel "GEMM K1" -action plan
 //	fsprune -kernel "2DCONV K1" -action estimate -baseline 3000
 //	fsprune -kernel "HotSpot K1" -action profile -scale paper
+//	fsprune -kernel "GEMM K1" -action campaign -journal gemm.journal
+//	fsprune -kernel "GEMM K1" -action campaign -journal s0.journal -shard 0/2
+//
+// A campaign with -journal survives interruption: SIGINT/SIGTERM (or a
+// crash) leaves every completed site on disk, and rerunning the same command
+// resumes where it stopped. Shard journals are recombined with fsmerge.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 
 	bl "repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/kernels"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -27,7 +40,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list available kernels")
 	kernel := flag.String("kernel", "", `kernel name, e.g. "GEMM K1"`)
-	action := flag.String("action", "estimate", "profile | sites | plan | estimate | baseline")
+	action := flag.String("action", "estimate", "profile | sites | plan | estimate | baseline | campaign")
 	scale := flag.String("scale", "small", "kernel scale: small or paper")
 	baseline := flag.Int("baseline", 3000, "baseline campaign size")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -43,14 +56,42 @@ func main() {
 	warp := flag.Int("warp", 0, "SIMT lockstep warp width for every run (0 = serial thread interleaving)")
 	fullRun := flag.Bool("full-run", false, "disable checkpointed fast-forward; re-execute the whole grid per experiment (reference engine)")
 	ckptStride := flag.Int("ckpt-stride", 0, "CTA boundaries between golden checkpoints (0 = auto from grid size)")
+	journalPath := flag.String("journal", "", "write-ahead outcome journal for -action campaign (created, or resumed if it exists)")
+	shardSpec := flag.String("shard", "", `run only shard "i/n" of the campaign (with -action campaign)`)
 	flag.Parse()
 
-	var sink *fault.StatsSink
-	if *showStats {
-		sink = &fault.StatsSink{}
+	if *par < 0 {
+		usageError("-par must be >= 0 (0 = GOMAXPROCS), got %d", *par)
 	}
+	if *warp < 0 {
+		usageError("-warp must be >= 0 (0 = serial interleaving), got %d", *warp)
+	}
+	if *ckptStride < 0 {
+		usageError("-ckpt-stride must be >= 0 (0 = auto), got %d", *ckptStride)
+	}
+	shard, err := parseShard(*shardSpec)
+	if err != nil {
+		usageError("%v", err)
+	}
+	if (*journalPath != "" || *shardSpec != "") && *action != "campaign" {
+		usageError("-journal and -shard apply only to -action campaign")
+	}
+
+	// SIGINT/SIGTERM interrupt campaigns cooperatively: workers finish
+	// their in-flight sites, the journal keeps every completed outcome, and
+	// the process reports partial progress. A second signal kills outright.
+	interrupt := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		signal.Reset(os.Interrupt, syscall.SIGTERM)
+		close(interrupt)
+	}()
+
+	sink := &fault.StatsSink{}
 	campaign := func() fault.CampaignOptions {
-		return fault.CampaignOptions{Parallelism: *par, Sink: sink}
+		return fault.CampaignOptions{Parallelism: *par, Sink: sink, Interrupt: interrupt}
 	}
 
 	if *list {
@@ -176,10 +217,109 @@ func main() {
 			fmt.Printf("campaign stats: %s\n", res.Stats)
 		}
 
+	case "campaign":
+		// A fixed-size uniform random campaign — the durable workhorse.
+		// The site list derives deterministically from (kernel, scale,
+		// seed, size), which is exactly what the journal fingerprint pins.
+		rng := stats.NewRNG(*seed).Split("baseline")
+		sites := fault.Uniform(space.Random(rng, *baseline))
+		opt := campaign()
+		opt.Shard = shard
+
+		var j *journal.Journal
+		if *journalPath != "" {
+			fp := inst.Target.JournalFingerprint(fault.ModelDestValue, len(sites), sc.String(), *seed, shard)
+			j, err = journal.Open(*journalPath, fp)
+			fatal(err)
+			opt.Journal = j
+		}
+		res, err := fault.Run(inst.Target, sites, opt)
+		if errors.Is(err, fault.ErrInterrupted) {
+			if j != nil {
+				if cerr := j.Close(); cerr != nil {
+					fmt.Fprintf(os.Stderr, "journal close: %v\n", cerr)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			fmt.Fprintf(os.Stderr, "partial stats: %s\n", sink.Total())
+			if *journalPath != "" {
+				fmt.Fprintf(os.Stderr, "completed outcomes are saved in %s; rerun the same command to resume\n", *journalPath)
+			} else {
+				fmt.Fprintln(os.Stderr, "progress was lost; rerun with -journal FILE to make campaigns resumable")
+			}
+			os.Exit(130)
+		}
+		fatal(err)
+		if j != nil {
+			fatal(j.Close())
+		}
+
+		if *asJSON {
+			doc := struct {
+				Kernel    string          `json:"kernel"`
+				Scale     string          `json:"scale"`
+				Seed      int64           `json:"seed"`
+				Shard     string          `json:"shard,omitempty"`
+				Sites     int             `json:"sites"`
+				Completed int             `json:"completed"`
+				Profile   report.Profile  `json:"profile"`
+				Campaign  report.Campaign `json:"campaign"`
+			}{
+				Kernel:    spec.Meta.Name(),
+				Scale:     sc.String(),
+				Seed:      *seed,
+				Shard:     *shardSpec,
+				Sites:     len(sites),
+				Completed: res.Completed,
+				Profile:   report.NewProfile(res.Dist),
+				Campaign:  report.NewCampaign(sink.Total()),
+			}
+			fatal(report.Write(os.Stdout, doc))
+			return
+		}
+		if *shardSpec != "" {
+			fmt.Printf("%s (%s): shard %s, %d of %d sites\n",
+				spec.Meta.Name(), sc, *shardSpec, res.Completed, len(sites))
+		} else {
+			fmt.Printf("%s (%s): %d sites\n", spec.Meta.Name(), sc, res.Completed)
+		}
+		fmt.Printf("profile: %s\n", res.Dist)
+		if n := len(res.Quarantined); n > 0 {
+			fmt.Printf("quarantined sites: %d\n", n)
+			for _, q := range res.Quarantined {
+				fmt.Printf("  %s\n", q)
+			}
+		}
+		if *showStats {
+			fmt.Printf("campaign stats: %s\n", sink.Total())
+		}
+
 	default:
 		fmt.Fprintf(os.Stderr, "unknown action %q\n", *action)
 		os.Exit(2)
 	}
+}
+
+// parseShard parses "i/n"; the empty string is the whole campaign.
+func parseShard(s string) (fault.Shard, error) {
+	if s == "" {
+		return fault.Shard{}, nil
+	}
+	a, b, ok := strings.Cut(s, "/")
+	if !ok {
+		return fault.Shard{}, fmt.Errorf("invalid -shard %q (want i/n, e.g. 0/4)", s)
+	}
+	i, err1 := strconv.Atoi(a)
+	n, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil || n < 1 || i < 0 || i >= n {
+		return fault.Shard{}, fmt.Errorf("invalid -shard %q (want i/n with 0 <= i < n)", s)
+	}
+	return fault.Shard{Index: i, Count: n}, nil
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
 }
 
 func fatal(err error) {

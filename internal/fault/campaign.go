@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/gpusim"
+	"repro/internal/journal"
 )
 
 // WeightedSite pairs a fault site with the population weight it represents.
@@ -80,6 +81,15 @@ type CampaignStats struct {
 	// snapshots retain beyond it.
 	Checkpoints     int
 	CheckpointBytes int64
+	// Replayed counts sites whose outcome was restored from the campaign
+	// journal instead of executed (resume path); they are excluded from
+	// Runs.
+	Replayed int64
+	// Retries counts extra executions spent re-attempting failing sites.
+	Retries int64
+	// Quarantined counts sites that exhausted their attempts and were
+	// bucketed as EngineError.
+	Quarantined int64
 }
 
 // Merge accumulates another campaign's stats: counters add, wall times add
@@ -93,6 +103,9 @@ func (s *CampaignStats) Merge(o CampaignStats) {
 	s.DevicesCreated += o.DevicesCreated
 	s.CTAsSkipped += o.CTAsSkipped
 	s.EarlyExits += o.EarlyExits
+	s.Replayed += o.Replayed
+	s.Retries += o.Retries
+	s.Quarantined += o.Quarantined
 	if o.Checkpoints > s.Checkpoints {
 		s.Checkpoints = o.Checkpoints
 	}
@@ -107,9 +120,16 @@ func (s *CampaignStats) Merge(o CampaignStats) {
 
 // String renders the stats for CLI -stats output.
 func (s CampaignStats) String() string {
-	return fmt.Sprintf("%d runs in %v (%.0f/s), %d pages copied, %d devices, %d CTAs skipped, %d early exits, %d checkpoints (%d KiB)",
+	out := fmt.Sprintf("%d runs in %v (%.0f/s), %d pages copied, %d devices, %d CTAs skipped, %d early exits, %d checkpoints (%d KiB)",
 		s.Runs, s.Wall.Round(time.Millisecond), s.RunsPerSec, s.PagesCopied,
 		s.DevicesCreated, s.CTAsSkipped, s.EarlyExits, s.Checkpoints, s.CheckpointBytes/1024)
+	if s.Replayed > 0 {
+		out += fmt.Sprintf(", %d replayed from journal", s.Replayed)
+	}
+	if s.Retries > 0 || s.Quarantined > 0 {
+		out += fmt.Sprintf(", %d retries, %d quarantined", s.Retries, s.Quarantined)
+	}
+	return out
 }
 
 // StatsSink accumulates campaign stats across several fault.Run calls —
@@ -137,10 +157,19 @@ func (k *StatsSink) Total() CampaignStats {
 // CampaignResult is the aggregate of an injection campaign.
 type CampaignResult struct {
 	// Dist is the weighted outcome distribution (the resilience profile).
+	// It covers every completed site: executed this run, replayed from the
+	// journal, or quarantined (EngineError). On a sharded campaign it
+	// covers only this shard's sites.
 	Dist Dist
 	// PerSite, when requested, holds the outcome of each injected site in
-	// input order.
+	// input order. On a sharded campaign, entries for sites owned by other
+	// shards are meaningless (zero).
 	PerSite []Outcome
+	// Completed is the number of sites contributing to Dist.
+	Completed int
+	// Quarantined lists the sites bucketed as EngineError, sorted by
+	// input-order index (including ones replayed from the journal).
+	Quarantined []SiteFailure
 	// Stats describes the campaign's execution.
 	Stats CampaignStats
 }
@@ -154,6 +183,40 @@ type CampaignOptions struct {
 	// Sink, when non-nil, additionally accumulates this campaign's stats
 	// (also on error, so cancelled campaigns stay visible).
 	Sink *StatsSink
+
+	// FailFast restores the pre-durability semantics: the first site error
+	// cancels the campaign (deterministically reporting the lowest
+	// scheduled failing site), with no panic recovery, deadline, retry or
+	// quarantine. The default (false) isolates failures per site: a
+	// failing site is retried with exponential backoff and, after
+	// MaxAttempts, quarantined into the EngineError outcome while the rest
+	// of the campaign proceeds.
+	FailFast bool
+	// MaxAttempts caps executions per site before quarantine; 0 means
+	// DefaultMaxAttempts.
+	MaxAttempts int
+	// SiteDeadline is the wall-clock ceiling per attempt, layered over the
+	// simulator's step watchdog; 0 means DefaultSiteDeadline, negative
+	// disables it.
+	SiteDeadline time.Duration
+	// RetryBackoff is the sleep before the first retry (doubling per
+	// attempt); 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+
+	// Journal, when non-nil, makes the campaign durable: each completed
+	// site is appended to it, and sites already recorded (from an earlier,
+	// interrupted run) are replayed instead of executed — the resumed
+	// campaign's result is bit-identical to an uninterrupted one. The
+	// journal must have been opened with the fingerprint of this exact
+	// campaign (see Target.JournalFingerprint).
+	Journal *journal.Journal
+	// Shard restricts execution to a deterministic 1/Count slice of the
+	// schedule (see Shard); the zero value runs everything.
+	Shard Shard
+	// Interrupt, when non-nil, stops the campaign cooperatively once the
+	// channel is closed: workers finish their current site, the journal
+	// keeps every completed outcome, and Run returns ErrInterrupted.
+	Interrupt <-chan struct{}
 }
 
 // devicePool hands out reusable copy-on-write devices to campaign workers.
@@ -197,8 +260,16 @@ func (p *devicePool) put(d *gpusim.Device) {
 // checkpoint nearest its injected CTA and may early-exit on golden-state
 // convergence, with outcomes bit-identical to full runs. The whole site list
 // is validated up front, so an invalid site fails before any experiment
-// executes, reporting the lowest-index invalid site; an execution error
-// cancels the remaining campaign promptly.
+// executes, reporting the lowest-index invalid site.
+//
+// Execution failures are isolated per site by default: a failing site is
+// retried with exponential backoff and, after MaxAttempts, quarantined into
+// the EngineError outcome (CampaignResult.Quarantined) while the campaign
+// continues; CampaignOptions.FailFast instead cancels the remaining
+// campaign promptly on the first error. With a Journal attached the
+// campaign is durable and resumable, with Shard it runs one deterministic
+// slice of the schedule, and Interrupt stops it cooperatively (see
+// CampaignOptions).
 func Run(t *Target, sites []WeightedSite, opt CampaignOptions) (*CampaignResult, error) {
 	return t.runCampaign(sites, opt, ModelDestValue)
 }
@@ -213,27 +284,21 @@ func (t *Target) runCampaign(sites []WeightedSite, opt CampaignOptions, model Mo
 			return nil, fmt.Errorf("site %v: %w", sites[i].Site, err)
 		}
 	}
+	if opt.Journal != nil {
+		if err := t.validateJournal(opt.Journal, model, len(sites), opt.Shard); err != nil {
+			return nil, err
+		}
+	}
 
 	pool := newDevicePool(t.Init)
-	var ctasSkipped, earlyExits atomic.Int64
-	res, st, err := runWith(sites, t.scheduleOrder(sites), opt, func(s Site) (Outcome, error) {
+	res, st, err := runWith(sites, t.scheduleOrder(sites), opt, func(s Site) (Outcome, runCost, error) {
 		dev := pool.get()
 		o, cost, rerr := t.injectOn(dev, s, model)
 		pool.put(dev)
-		if rerr == nil {
-			if cost.ctasSkipped > 0 {
-				ctasSkipped.Add(cost.ctasSkipped)
-			}
-			if cost.earlyExit {
-				earlyExits.Add(1)
-			}
-		}
-		return o, rerr
+		return o, cost, rerr
 	})
 	st.PagesCopied = pool.pages.Load()
 	st.DevicesCreated = int(pool.created.Load())
-	st.CTAsSkipped = ctasSkipped.Load()
-	st.EarlyExits = earlyExits.Load()
 	if ck := t.ckpt; ck != nil {
 		st.Checkpoints = ck.Count()
 		st.CheckpointBytes = ck.Bytes()
@@ -277,22 +342,25 @@ func (t *Target) scheduleOrder(sites []WeightedSite) []int {
 // runWith is the shared parallel campaign engine; runSite evaluates one
 // site. order, when non-nil, is the permutation mapping schedule position to
 // input index (identity when nil): sites execute in schedule order, while
-// outcomes, aggregation and error attribution stay in input order. Work is
-// handed out in batches from a shared cursor. The first site error cancels
-// the campaign: the batch cursor stops short of the failing schedule
-// position, in-flight workers skip positions at or beyond it, and — because
-// the error position only ever decreases and every position below it is
-// still executed — the returned error is the one of the lowest-scheduled
-// failing site regardless of goroutine scheduling.
+// outcomes, aggregation and error attribution stay in input order. The
+// engine first replays the attached journal (outcomes already on disk are
+// final) and drops schedule positions owned by other shards, leaving a work
+// list that is handed out in batches from a shared cursor; each completed
+// site is journaled before the campaign moves on.
+//
+// Failure handling depends on FailFast. In the default isolating mode a
+// failing site is retried and eventually quarantined as EngineError, and
+// only journal-append failures or an Interrupt stop the campaign. With
+// FailFast, the first site error cancels it: the batch cursor stops short
+// of the failing work position, in-flight workers skip positions at or
+// beyond it, and — because the error position only ever decreases and every
+// position below it is still executed — the returned error is the one of
+// the lowest-scheduled failing site regardless of goroutine scheduling.
 func runWith(sites []WeightedSite, order []int, opt CampaignOptions,
-	runSite func(Site) (Outcome, error)) (*CampaignResult, CampaignStats, error) {
+	runSite func(Site) (Outcome, runCost, error)) (*CampaignResult, CampaignStats, error) {
 
-	workers := opt.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(sites) {
-		workers = len(sites)
+	if err := opt.Shard.validate(); err != nil {
+		return nil, CampaignStats{}, err
 	}
 	if len(sites) == 0 {
 		return &CampaignResult{}, CampaignStats{}, nil
@@ -306,32 +374,80 @@ func runWith(sites []WeightedSite, order []int, opt CampaignOptions,
 
 	start := time.Now()
 	outcomes := make([]Outcome, len(sites))
-	var runs atomic.Int64
+	done := make([]bool, len(sites))
+	var st CampaignStats
 
-	// Cancellation state: errLimit is len(sites) while healthy, and drops
-	// to the lowest failing schedule position seen so far. firstErr tracks
-	// the error belonging to the current errLimit.
+	var quarMu sync.Mutex
+	var quarantined []SiteFailure
+	if j := opt.Journal; j != nil {
+		replayed, quar, err := replayJournal(j, sites, outcomes, done)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Replayed = replayed
+		quarantined = quar
+	}
+
+	// The work list: schedule positions owned by this shard whose site is
+	// not already journaled.
+	work := make([]int, 0, len(sites))
+	for pos := 0; pos < len(sites); pos++ {
+		if opt.Shard.owns(pos) && !done[input(pos)] {
+			work = append(work, pos)
+		}
+	}
+
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+
+	var runs, retries, nquar, ctasSkipped, earlyExits atomic.Int64
+
+	// Cancellation state: errLimit is len(work) while healthy, and drops to
+	// the lowest failing work position seen so far. firstErr tracks the
+	// error belonging to the current errLimit.
 	var errLimit atomic.Int64
-	errLimit.Store(int64(len(sites)))
+	errLimit.Store(int64(len(work)))
 	var errMu sync.Mutex
 	var firstErr error
-	fail := func(pos, i int, err error) {
+	fail := func(wpos, i int, err error) {
 		errMu.Lock()
-		if int64(pos) < errLimit.Load() {
-			errLimit.Store(int64(pos))
+		if int64(wpos) < errLimit.Load() {
+			errLimit.Store(int64(wpos))
 			firstErr = fmt.Errorf("site %v: %w", sites[i].Site, err)
 		}
 		errMu.Unlock()
+	}
+
+	var interrupted atomic.Bool
+	stop := func() bool {
+		if interrupted.Load() {
+			return true
+		}
+		if opt.Interrupt == nil {
+			return false
+		}
+		select {
+		case <-opt.Interrupt:
+			interrupted.Store(true)
+			return true
+		default:
+			return false
+		}
 	}
 
 	var next int64
 	var mu sync.Mutex
 	takeBatch := func() (lo, hi int) {
 		const batch = 16
-		limit := int(errLimit.Load())
-		if limit > len(sites) {
-			limit = len(sites)
+		if stop() {
+			return 0, 0
 		}
+		limit := int(errLimit.Load())
 		mu.Lock()
 		defer mu.Unlock()
 		lo = int(next)
@@ -339,13 +455,14 @@ func runWith(sites []WeightedSite, order []int, opt CampaignOptions,
 			return 0, 0
 		}
 		hi = lo + batch
-		if hi > len(sites) {
-			hi = len(sites)
+		if hi > len(work) {
+			hi = len(work)
 		}
 		next = int64(hi)
 		return lo, hi
 	}
 
+	g := newGuard(opt)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -356,36 +473,92 @@ func runWith(sites []WeightedSite, order []int, opt CampaignOptions,
 				if lo == hi {
 					return
 				}
-				for pos := lo; pos < hi; pos++ {
-					if int64(pos) >= errLimit.Load() {
+				for wpos := lo; wpos < hi; wpos++ {
+					if int64(wpos) >= errLimit.Load() || stop() {
 						break
 					}
-					i := input(pos)
-					o, err := runSite(sites[i].Site)
-					runs.Add(1)
-					if err != nil {
-						fail(pos, i, err)
-						break
+					i := input(work[wpos])
+					var o Outcome
+					var cost runCost
+					attempts := 1
+					var quarErr string
+					if opt.FailFast {
+						var err error
+						o, cost, err = runSite(sites[i].Site)
+						runs.Add(1)
+						if err != nil {
+							fail(wpos, i, err)
+							break
+						}
+					} else {
+						var err error
+						o, cost, attempts, err = g.run(runSite, sites[i].Site)
+						runs.Add(int64(attempts))
+						if attempts > 1 {
+							retries.Add(int64(attempts - 1))
+						}
+						if err != nil {
+							nquar.Add(1)
+							quarErr = err.Error()
+							quarMu.Lock()
+							quarantined = append(quarantined, SiteFailure{
+								Index: i, Site: sites[i].Site, Attempts: attempts, Err: quarErr,
+							})
+							quarMu.Unlock()
+						}
+					}
+					ctasSkipped.Add(cost.ctasSkipped)
+					if cost.earlyExit {
+						earlyExits.Add(1)
 					}
 					outcomes[i] = o
+					done[i] = true
+					if j := opt.Journal; j != nil {
+						if jerr := j.Append(journalRecord(i, sites[i], o, cost, attempts, quarErr)); jerr != nil {
+							fail(wpos, i, jerr)
+							break
+						}
+					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
 
-	st := CampaignStats{Runs: runs.Load(), Wall: time.Since(start)}
+	st.Runs = runs.Load()
+	st.Wall = time.Since(start)
 	if st.Wall > 0 {
 		st.RunsPerSec = float64(st.Runs) / st.Wall.Seconds()
 	}
-	if errLimit.Load() < int64(len(sites)) {
+	st.Retries = retries.Load()
+	st.Quarantined = nquar.Load()
+	st.CTAsSkipped = ctasSkipped.Load()
+	st.EarlyExits = earlyExits.Load()
+	if errLimit.Load() < int64(len(work)) {
 		return nil, st, firstErr
 	}
-
-	res := &CampaignResult{}
-	for i, ws := range sites {
-		res.Dist.Add(outcomes[i], ws.Weight)
+	completed := 0
+	for i := range sites {
+		if done[i] {
+			completed++
+		}
 	}
+	if interrupted.Load() {
+		return nil, st, fmt.Errorf("%w: %d/%d sites completed", ErrInterrupted, completed, len(sites))
+	}
+
+	// Aggregation is always in input order — independent of scheduling,
+	// sharding, and how the work was split between replay and execution —
+	// so resumed and merged campaigns are bit-identical to uninterrupted
+	// ones.
+	res := &CampaignResult{Completed: completed}
+	for i, ws := range sites {
+		if done[i] {
+			res.Dist.Add(outcomes[i], ws.Weight)
+		}
+	}
+	sort.Slice(quarantined, func(a, b int) bool { return quarantined[a].Index < quarantined[b].Index })
+	res.Quarantined = quarantined
 	if opt.KeepPerSite {
 		res.PerSite = outcomes
 	}

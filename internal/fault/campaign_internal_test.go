@@ -32,12 +32,12 @@ func TestRunWithDeterministicLowestError(t *testing.T) {
 	}
 	for _, par := range []int{1, 2, 4, 8} {
 		for trial := 0; trial < 5; trial++ {
-			_, _, err := runWith(fakeSites(n), nil, CampaignOptions{Parallelism: par},
-				func(s Site) (Outcome, error) {
+			_, _, err := runWith(fakeSites(n), nil, CampaignOptions{Parallelism: par, FailFast: true},
+				func(s Site) (Outcome, runCost, error) {
 					if e, ok := failAt[s.Thread]; ok {
-						return 0, e
+						return 0, runCost{}, e
 					}
-					return Masked, nil
+					return Masked, runCost{}, nil
 				})
 			if err == nil {
 				t.Fatalf("par %d: error swallowed", par)
@@ -54,12 +54,12 @@ func TestRunWithDeterministicLowestError(t *testing.T) {
 func TestRunWithErrorMessageNamesSite(t *testing.T) {
 	sentinel := errors.New("boom")
 	sites := fakeSites(50)
-	_, _, err := runWith(sites, nil, CampaignOptions{Parallelism: 2},
-		func(s Site) (Outcome, error) {
+	_, _, err := runWith(sites, nil, CampaignOptions{Parallelism: 2, FailFast: true},
+		func(s Site) (Outcome, runCost, error) {
 			if s.Thread == 17 {
-				return 0, sentinel
+				return 0, runCost{}, sentinel
 			}
-			return Masked, nil
+			return Masked, runCost{}, nil
 		})
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("sentinel lost: %v", err)
@@ -77,14 +77,14 @@ func TestRunWithCancelsPromptly(t *testing.T) {
 	const n = 3000
 	const failIdx = 5
 	var executed atomic.Int64
-	_, st, err := runWith(fakeSites(n), nil, CampaignOptions{Parallelism: 4},
-		func(s Site) (Outcome, error) {
+	_, st, err := runWith(fakeSites(n), nil, CampaignOptions{Parallelism: 4, FailFast: true},
+		func(s Site) (Outcome, runCost, error) {
 			executed.Add(1)
 			if s.Thread == failIdx {
-				return 0, errors.New("early failure")
+				return 0, runCost{}, errors.New("early failure")
 			}
 			time.Sleep(20 * time.Microsecond)
-			return Masked, nil
+			return Masked, runCost{}, nil
 		})
 	if err == nil {
 		t.Fatal("error swallowed")
@@ -104,13 +104,13 @@ func TestRunWithExecutesEverySiteBelowError(t *testing.T) {
 	const n = 500
 	const failIdx = 321
 	seen := make([]atomic.Bool, n)
-	_, _, err := runWith(fakeSites(n), nil, CampaignOptions{Parallelism: 8},
-		func(s Site) (Outcome, error) {
+	_, _, err := runWith(fakeSites(n), nil, CampaignOptions{Parallelism: 8, FailFast: true},
+		func(s Site) (Outcome, runCost, error) {
 			seen[s.Thread].Store(true)
 			if s.Thread == failIdx {
-				return 0, errors.New("late failure")
+				return 0, runCost{}, errors.New("late failure")
 			}
-			return Masked, nil
+			return Masked, runCost{}, nil
 		})
 	if err == nil {
 		t.Fatal("error swallowed")
@@ -127,7 +127,7 @@ func TestRunWithExecutesEverySiteBelowError(t *testing.T) {
 func TestRunWithStats(t *testing.T) {
 	const n = 64
 	res, st, err := runWith(fakeSites(n), nil, CampaignOptions{Parallelism: 3},
-		func(s Site) (Outcome, error) { return SDC, nil })
+		func(s Site) (Outcome, runCost, error) { return SDC, runCost{}, nil })
 	if err != nil {
 		t.Fatal(err)
 	}

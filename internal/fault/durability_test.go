@@ -1,0 +1,291 @@
+package fault_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/journal"
+	"repro/internal/stats"
+)
+
+// durabilityCampaign is the shared fixture of the end-to-end durability
+// tests: a tinyTarget campaign whose sampled sites produce masked, SDC and
+// crash outcomes.
+func durabilityCampaign(t *testing.T) (*fault.Target, []fault.WeightedSite) {
+	t.Helper()
+	tg := tinyTarget(t)
+	if err := tg.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	space := fault.NewSpace(tg.Profile())
+	return tg, fault.Uniform(space.Random(stats.NewRNG(21), 120))
+}
+
+func fingerprintFor(tg *fault.Target, n int, shard fault.Shard) journal.Fingerprint {
+	return tg.JournalFingerprint(fault.ModelDestValue, n, "test", 21, shard)
+}
+
+// TestCampaignInterruptResume is the differential property the journal
+// exists for: interrupt a campaign partway (then corrupt the torn tail, as a
+// kill -9 mid-write would), resume it from the journal, and the final
+// distribution and per-site outcomes must be bit-identical to a run that was
+// never interrupted.
+func TestCampaignInterruptResume(t *testing.T) {
+	tg, sites := durabilityCampaign(t)
+
+	ref, err := fault.Run(tg, sites, fault.CampaignOptions{Parallelism: 2, KeepPerSite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	j, err := journal.Open(path, fingerprintFor(tg, len(sites), fault.Shard{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intr := make(chan struct{})
+	go func() {
+		for j.Count() < len(sites)/4 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		close(intr)
+	}()
+	_, err = fault.Run(tg, sites, fault.CampaignOptions{
+		Parallelism: 2, Journal: j, Interrupt: intr,
+	})
+	if !errors.Is(err, fault.ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	if j.Count() >= len(sites) {
+		t.Skip("campaign finished before the interrupt landed")
+	}
+	j.Close()
+
+	// A kill -9 mid-append leaves a torn final frame; the reopen must shed
+	// it and resume from the last complete record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := journal.Open(path, fingerprintFor(tg, len(sites), fault.Shard{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	partial := j2.Count()
+	if partial == 0 || partial >= len(sites) {
+		t.Fatalf("journal resumed with %d of %d records", partial, len(sites))
+	}
+	res, err := fault.Run(tg, sites, fault.CampaignOptions{
+		Parallelism: 2, KeepPerSite: true, Journal: j2,
+		Sink: &fault.StatsSink{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Dist != ref.Dist {
+		t.Fatalf("resumed dist %v != uninterrupted %v", res.Dist, ref.Dist)
+	}
+	if res.Completed != len(sites) || res.Completed != ref.Completed {
+		t.Fatalf("resumed completed %d, reference %d, want %d", res.Completed, ref.Completed, len(sites))
+	}
+	for i := range ref.PerSite {
+		if res.PerSite[i] != ref.PerSite[i] {
+			t.Fatalf("site %d: resumed %v, reference %v", i, res.PerSite[i], ref.PerSite[i])
+		}
+	}
+	if j2.Count() != len(sites) {
+		t.Fatalf("journal holds %d records after completion, want %d", j2.Count(), len(sites))
+	}
+
+	// Resuming a complete journal replays everything and runs nothing.
+	j3, err := journal.Open(path, fingerprintFor(tg, len(sites), fault.Shard{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	var sink fault.StatsSink
+	res3, err := fault.Run(tg, sites, fault.CampaignOptions{Journal: j3, Sink: &sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Dist != ref.Dist {
+		t.Fatalf("fully replayed dist %v != reference %v", res3.Dist, ref.Dist)
+	}
+	if st := sink.Total(); st.Runs != 0 || st.Replayed != int64(len(sites)) {
+		t.Fatalf("full replay ran %d sites, replayed %d", st.Runs, st.Replayed)
+	}
+}
+
+// TestCampaignShardMerge: two shard campaigns, journaled separately and
+// merged with journal.Merge, reproduce the single-process distribution
+// bit-for-bit.
+func TestCampaignShardMerge(t *testing.T) {
+	tg, sites := durabilityCampaign(t)
+
+	ref, err := fault.Run(tg, sites, fault.CampaignOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	paths := make([]string, 2)
+	completed := 0
+	for idx := range paths {
+		sh := fault.Shard{Index: idx, Count: 2}
+		paths[idx] = filepath.Join(dir, "shard"+string(rune('0'+idx))+".journal")
+		j, err := journal.Open(paths[idx], fingerprintFor(tg, len(sites), sh))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fault.Run(tg, sites, fault.CampaignOptions{
+			Parallelism: 2, Journal: j, Shard: sh,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		completed += res.Completed
+		if res.Completed != j.Count() {
+			t.Fatalf("shard %d: completed %d but journaled %d", idx, res.Completed, j.Count())
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if completed != len(sites) {
+		t.Fatalf("shards completed %d sites, want %d", completed, len(sites))
+	}
+
+	fp, recs, err := journal.Merge(paths, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Sites != len(sites) || len(recs) != len(sites) {
+		t.Fatalf("merge: fp.Sites=%d records=%d, want %d", fp.Sites, len(recs), len(sites))
+	}
+	// Merge returns records sorted by site index, so aggregating in record
+	// order reproduces the engine's input-order float summation exactly.
+	var merged fault.Dist
+	for i, r := range recs {
+		if r.Index != i {
+			t.Fatalf("record %d has index %d", i, r.Index)
+		}
+		o := fault.Outcome(r.Outcome)
+		if !o.Valid() {
+			t.Fatalf("record %d: invalid outcome %d", i, r.Outcome)
+		}
+		merged.Add(o, r.Weight)
+	}
+	if merged != ref.Dist {
+		t.Fatalf("merged shard dist %v != single-process %v", merged, ref.Dist)
+	}
+
+	// Strict merge of one shard alone fails; allowPartial accepts it.
+	if _, _, err := journal.Merge(paths[:1], false); err == nil {
+		t.Fatal("strict merge accepted a missing shard")
+	}
+	if _, recs, err := journal.Merge(paths[:1], true); err != nil || len(recs) == 0 {
+		t.Fatalf("partial merge: %v (%d records)", err, len(recs))
+	}
+}
+
+// TestCampaignJournalRejectsStale: a journal recorded under a different
+// engine configuration must be refused at open or at Run.
+func TestCampaignJournalRejectsStale(t *testing.T) {
+	tg, sites := durabilityCampaign(t)
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	j, err := journal.Open(path, fingerprintFor(tg, len(sites), fault.Shard{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Different seed -> different site derivation -> stale at open.
+	stale := fingerprintFor(tg, len(sites), fault.Shard{})
+	stale.Seed = 99
+	if _, err := journal.Open(path, stale); !errors.Is(err, journal.ErrFingerprintMismatch) {
+		t.Fatalf("stale fingerprint accepted: %v", err)
+	}
+
+	// Same open fingerprint but a mismatched campaign shape at Run time:
+	// attach the 120-site journal to a truncated site list.
+	j2, err := journal.Open(path, fingerprintFor(tg, len(sites), fault.Shard{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, err := fault.Run(tg, sites[:10], fault.CampaignOptions{Journal: j2}); err == nil {
+		t.Fatal("journal accepted for a campaign with a different site count")
+	}
+
+	// A shard journal cannot drive an unsharded campaign.
+	shardPath := filepath.Join(t.TempDir(), "shard.journal")
+	js, err := journal.Open(shardPath, fingerprintFor(tg, len(sites), fault.Shard{Index: 1, Count: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer js.Close()
+	if _, err := fault.Run(tg, sites, fault.CampaignOptions{Journal: js}); err == nil {
+		t.Fatal("shard journal accepted for an unsharded campaign")
+	}
+}
+
+// TestCampaignHangSiteJournaled: a campaign over a kernel with a
+// deadlocking site journals and resumes like any other — the hang outcome
+// round-trips through the record.
+func TestCampaignHangSiteJournaled(t *testing.T) {
+	tg := hangTarget(t)
+	if err := tg.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	sites := []fault.WeightedSite{
+		{Site: fault.Site{Thread: 0, DynInst: 0, Bit: 5}, Weight: 1},
+		{Site: hangSite, Weight: 1},
+		{Site: fault.Site{Thread: 7, DynInst: 0, Bit: 1}, Weight: 1},
+	}
+	ref, err := fault.Run(tg, sites, fault.CampaignOptions{KeepPerSite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.PerSite[1] != fault.Hang {
+		t.Fatalf("hang site classified %v", ref.PerSite[1])
+	}
+
+	path := filepath.Join(t.TempDir(), "hang.journal")
+	fp := tg.JournalFingerprint(fault.ModelDestValue, len(sites), "test", 0, fault.Shard{})
+	j, err := journal.Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fault.Run(tg, sites, fault.CampaignOptions{Journal: j}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := journal.Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var sink fault.StatsSink
+	res, err := fault.Run(tg, sites, fault.CampaignOptions{Journal: j2, KeepPerSite: true, Sink: &sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sink.Total(); st.Runs != 0 {
+		t.Fatalf("resume re-ran %d sites of a complete journal", st.Runs)
+	}
+	if res.PerSite[1] != fault.Hang || res.Dist != ref.Dist {
+		t.Fatalf("hang outcome lost in replay: %v vs %v", res.Dist, ref.Dist)
+	}
+}

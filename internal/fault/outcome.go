@@ -11,12 +11,16 @@ import "fmt"
 type Outcome uint8
 
 // Outcomes. Crash and Hang both belong to the paper's "other" class but are
-// tracked separately because the simulator can tell them apart.
+// tracked separately because the simulator can tell them apart. EngineError
+// is not a paper outcome at all: it marks a site the engine itself failed
+// on (panic, internal error, or per-site deadline) and quarantined after
+// retries, so a long campaign degrades gracefully instead of aborting.
 const (
-	Masked Outcome = iota // output identical to golden
-	SDC                   // run completed, output differs
-	Crash                 // memory fault / invalid execution
-	Hang                  // watchdog expired or barrier deadlock
+	Masked      Outcome = iota // output identical to golden
+	SDC                        // run completed, output differs
+	Crash                      // memory fault / invalid execution
+	Hang                       // watchdog expired or barrier deadlock
+	EngineError                // site quarantined after repeated engine failures
 	numOutcomes
 )
 
@@ -31,9 +35,15 @@ func (o Outcome) String() string {
 		return "crash"
 	case Hang:
 		return "hang"
+	case EngineError:
+		return "engine-error"
 	}
 	return fmt.Sprintf("outcome(%d)", uint8(o))
 }
+
+// Valid reports whether o is a defined outcome — the bounds check for
+// outcomes deserialized from a journal.
+func (o Outcome) Valid() bool { return o < numOutcomes }
 
 // Class is the paper's three-way outcome classification.
 type Class uint8

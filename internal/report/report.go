@@ -21,6 +21,10 @@ type Profile struct {
 	// CrashPct and HangPct split OtherPct by cause.
 	CrashPct float64 `json:"crash_pct"`
 	HangPct  float64 `json:"hang_pct"`
+	// EngineErrPct is the weight share of quarantined sites (EngineError):
+	// not a paper outcome, surfaced so a degraded campaign is visible in
+	// its report.
+	EngineErrPct float64 `json:"engine_err_pct,omitempty"`
 	// Experiments is the unweighted injection-run count behind the profile.
 	Experiments int64 `json:"experiments"`
 	// Weight is the weighted site mass the profile represents.
@@ -30,13 +34,14 @@ type Profile struct {
 // NewProfile converts a fault.Dist.
 func NewProfile(d fault.Dist) Profile {
 	return Profile{
-		MaskedPct:   d.Pct(fault.ClassMasked),
-		SDCPct:      d.Pct(fault.ClassSDC),
-		OtherPct:    d.Pct(fault.ClassOther),
-		CrashPct:    d.PctOutcome(fault.Crash),
-		HangPct:     d.PctOutcome(fault.Hang),
-		Experiments: d.N,
-		Weight:      d.Total(),
+		MaskedPct:    d.Pct(fault.ClassMasked),
+		SDCPct:       d.Pct(fault.ClassSDC),
+		OtherPct:     d.Pct(fault.ClassOther),
+		CrashPct:     d.PctOutcome(fault.Crash),
+		HangPct:      d.PctOutcome(fault.Hang),
+		EngineErrPct: d.PctOutcome(fault.EngineError),
+		Experiments:  d.N,
+		Weight:       d.Total(),
 	}
 }
 
@@ -149,6 +154,9 @@ type Campaign struct {
 	EarlyExits      int64   `json:"early_exits,omitempty"`
 	Checkpoints     int     `json:"checkpoints,omitempty"`
 	CheckpointBytes int64   `json:"checkpoint_bytes,omitempty"`
+	Replayed        int64   `json:"replayed,omitempty"`
+	Retries         int64   `json:"retries,omitempty"`
+	Quarantined     int64   `json:"quarantined,omitempty"`
 }
 
 // NewCampaign converts fault.CampaignStats.
@@ -163,7 +171,29 @@ func NewCampaign(s fault.CampaignStats) Campaign {
 		EarlyExits:      s.EarlyExits,
 		Checkpoints:     s.Checkpoints,
 		CheckpointBytes: s.CheckpointBytes,
+		Replayed:        s.Replayed,
+		Retries:         s.Retries,
+		Quarantined:     s.Quarantined,
 	}
+}
+
+// Merged is the JSON document fsmerge emits for a campaign recombined from
+// shard journals: the identifying fingerprint fields, coverage counters,
+// and the merged resilience profile.
+type Merged struct {
+	Kernel      string  `json:"kernel"`
+	Scale       string  `json:"scale"`
+	Seed        int64   `json:"seed"`
+	Model       string  `json:"model"`
+	Shards      int     `json:"shards"`
+	Sites       int     `json:"sites"`
+	Completed   int     `json:"completed"`
+	Quarantined int     `json:"quarantined,omitempty"`
+	Profile     Profile `json:"profile"`
+	// Campaign aggregates the execution counters recorded in the journals
+	// (attempt counts and fast-forward savings; wall time is not recorded
+	// per shard and stays zero).
+	Campaign Campaign `json:"campaign"`
 }
 
 // Estimate bundles a plan with its estimated and baseline profiles.
