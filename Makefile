@@ -3,12 +3,12 @@ GO ?= go
 # The perf trajectory across PRs: `make bench` records the current tree as
 # $(BENCH_OUT); `make ci` (via bench-check) fails when any benchmark present
 # in both files regressed more than 25% against $(BENCH_PREV).
-BENCH_PREV ?= BENCH_pr2.json
-BENCH_OUT  ?= BENCH_pr3.json
+BENCH_PREV ?= BENCH_pr3.json
+BENCH_OUT  ?= BENCH_pr4.json
 
-.PHONY: ci vet build test race campaign-smoke bench-smoke bench bench-check bench-full
+.PHONY: ci vet build test race campaign-smoke doccheck bench-smoke bench bench-check bench-full
 
-ci: vet build race campaign-smoke bench-check
+ci: vet build race campaign-smoke doccheck bench-check
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,12 @@ race:
 campaign-smoke:
 	$(GO) test -race -run 'TestCampaignInterruptResume|TestCampaignShardMerge' ./internal/fault
 
+# Documentation gate: every internal package carries a package comment and
+# every `go run ./cmd/...` invocation quoted in README/DESIGN/ARCHITECTURE
+# code fences names a real command and real flags.
+doccheck:
+	$(GO) run ./cmd/doccheck
+
 # One iteration of the headline benchmark, piped through benchjson: catches
 # gross regressions and panics in the campaign engine (and keeps the JSON
 # extractor building) without a full benchmark run.
@@ -36,7 +42,7 @@ bench-smoke:
 # Table/figure and campaign-engine benchmarks in smoke mode (one iteration
 # each), recorded as ns/op per benchmark in $(BENCH_OUT).
 bench:
-	$(GO) test -run '^$$' -bench '^Benchmark(Table|Fig|Campaign)' -benchtime 1x . | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench '^Benchmark(Table|Fig|Campaign|Pipeline)' -benchtime 1x . | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
 # Regression gate: rerun the benchmarks and diff against the previous PR's
 # recording; any >25% slowdown fails with a readable per-benchmark report.

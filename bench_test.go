@@ -189,6 +189,81 @@ func BenchmarkCampaignFullRunDouble(b *testing.B)    { benchCampaign(b, true, fa
 func BenchmarkCampaignCheckpointMemAddr(b *testing.B) { benchCampaign(b, false, fault.ModelMemAddr) }
 func BenchmarkCampaignFullRunMemAddr(b *testing.B)    { benchCampaign(b, true, fault.ModelMemAddr) }
 
+// benchPipeline runs a trimmed pruning session — plan + spot-check estimate,
+// an auto-loop re-plan step, and a three-way sharded campaign — where every
+// stage and every shard builds its own Target, the way cmd/fsprune's stages
+// and shard workers do. withCache attaches one fresh fault.PreparedCache per
+// iteration, so the first stage performs the only golden run and the other
+// four targets adopt its profile, checkpoints and golden output from the
+// cache; without it, all five pay a full Prepare. Campaigns are kept to a
+// single spot-check site per target so the benchmark isolates Prepare
+// amortization rather than raw campaign throughput (BenchmarkCampaign*
+// covers that).
+func benchPipeline(b *testing.B, withCache bool) {
+	b.Helper()
+	spec, _ := kernels.ByName("HotSpot K1")
+	const spotSites = 1
+	build := func(cache *fault.PreparedCache) *fault.Target {
+		inst, err := spec.Build(kernels.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst.Target.Cache = cache
+		if err := inst.Target.Prepare(); err != nil {
+			b.Fatal(err)
+		}
+		return inst.Target
+	}
+	campaign := func(t *fault.Target, sites []fault.WeightedSite) {
+		if len(sites) > spotSites {
+			sites = sites[:spotSites]
+		}
+		if _, err := fault.Run(t, sites, fault.CampaignOptions{Parallelism: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm up one full Prepare + campaign outside the timed region so a
+	// -benchtime 1x smoke run measures steady-state cost, not first-call
+	// lazy initialization and heap growth.
+	warm := build(nil)
+	campaign(warm, fault.Uniform(fault.NewSpace(warm.Profile()).Random(stats.NewRNG(99), spotSites)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cache *fault.PreparedCache
+		if withCache {
+			cache = fault.NewPreparedCache(0)
+		}
+		// Stage 1: prune and spot-check the plan.
+		t1 := build(cache)
+		plan, err := core.BuildPlan(t1, core.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		campaign(t1, plan.Sites)
+		// Stage 2: one auto-loop refinement step (re-plan at a different
+		// sample size on a fresh target, as a restarted session would).
+		t2 := build(cache)
+		plan, err = core.BuildPlan(t2, core.Options{Seed: 1, LoopIters: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		campaign(t2, plan.Sites)
+		// Stage 3: a three-way sharded campaign, each shard on its own target.
+		for shard := 0; shard < 3; shard++ {
+			ts := build(cache)
+			space := fault.NewSpace(ts.Profile())
+			campaign(ts, fault.Uniform(space.Random(stats.NewRNG(int64(shard)), spotSites)))
+		}
+	}
+}
+
+// BenchmarkPipelineSharedTarget and BenchmarkPipelineColdPrepare bound the
+// amortization from the shared prepared-target cache: identical five-target
+// sessions, one golden run versus five. Their ratio is the headline speedup
+// the cache buys a multi-stage session (expected well above 1.5x).
+func BenchmarkPipelineSharedTarget(b *testing.B) { benchPipeline(b, true) }
+func BenchmarkPipelineColdPrepare(b *testing.B)  { benchPipeline(b, false) }
+
 // BenchmarkBuildPlan measures the pruning pipeline itself (no injections):
 // profiling reuse, grouping, diffing, sampling, site materialization.
 func BenchmarkBuildPlan(b *testing.B) {

@@ -1,0 +1,185 @@
+// Command doccheck keeps the documentation honest. It enforces two
+// invariants that otherwise rot silently:
+//
+//  1. Every package under internal/ carries a package comment (godoc's
+//     "Package <name> ..." paragraph), so `go doc` gives a real answer for
+//     every layer of the pipeline.
+//  2. Every `go run ./cmd/<name>` invocation quoted in a fenced code block
+//     of README.md, DESIGN.md or ARCHITECTURE.md refers to a command that
+//     exists, and every flag it passes is actually defined by that command's
+//     source — so the walkthroughs stay runnable as the CLIs evolve.
+//
+// Run from the repository root (as `make doccheck` does); exits non-zero
+// with one line per violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var violations []string
+	violations = append(violations, checkPackageComments("internal")...)
+	violations = append(violations, checkDocCommands("README.md", "DESIGN.md", "ARCHITECTURE.md")...)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "doccheck:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: package comments and documented CLI invocations are clean")
+}
+
+// checkPackageComments walks every Go package directory under root and
+// reports the ones whose files carry no package comment at all.
+func checkPackageComments(root string) []string {
+	var violations []string
+	commented := map[string]bool{} // package dir -> has a package comment
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if _, seen := commented[dir]; !seen {
+			commented[dir] = false
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		if f.Doc != nil && strings.HasPrefix(f.Doc.Text(), "Package ") {
+			commented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return []string{err.Error()}
+	}
+	dirs := make([]string, 0, len(commented))
+	for dir := range commented {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		if !commented[dir] {
+			violations = append(violations, fmt.Sprintf("%s: no package comment (want a \"Package %s ...\" doc comment)", dir, filepath.Base(dir)))
+		}
+	}
+	return violations
+}
+
+var runRE = regexp.MustCompile(`go run \./cmd/([a-z]+)([^\n|>]*)`)
+
+// checkDocCommands extracts `go run ./cmd/<name> ...` invocations from the
+// fenced code blocks of the given markdown files and validates the command
+// directory and every -flag against the command's flag definitions.
+func checkDocCommands(files ...string) []string {
+	var violations []string
+	flagSets := map[string]map[string]bool{} // cmd name -> defined flags
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			violations = append(violations, err.Error())
+			continue
+		}
+		inFence := false
+		for lineno, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if !inFence {
+				continue
+			}
+			for _, m := range runRE.FindAllStringSubmatch(line, -1) {
+				name, rest := m[1], m[2]
+				flags, ok := flagSets[name]
+				if !ok {
+					flags, err = cmdFlags(name)
+					if err != nil {
+						violations = append(violations,
+							fmt.Sprintf("%s:%d: %v", file, lineno+1, err))
+						continue
+					}
+					flagSets[name] = flags
+				}
+				for _, tok := range strings.Fields(rest) {
+					if !strings.HasPrefix(tok, "-") {
+						continue
+					}
+					f := strings.TrimLeft(tok, "-")
+					if i := strings.IndexByte(f, '='); i >= 0 {
+						f = f[:i]
+					}
+					// Skip placeholders and negative numbers; flags are
+					// lowercase identifiers.
+					if f == "" || f[0] < 'a' || f[0] > 'z' {
+						continue
+					}
+					if !flags[f] {
+						violations = append(violations,
+							fmt.Sprintf("%s:%d: cmd/%s defines no flag -%s", file, lineno+1, name, f))
+					}
+				}
+			}
+		}
+		if inFence {
+			violations = append(violations, fmt.Sprintf("%s: unterminated code fence", file))
+		}
+	}
+	return violations
+}
+
+// cmdFlags parses cmd/<name>'s sources and collects the names of the flags
+// it defines via the flag package (flag.String, flag.Int, flag.BoolVar, ...).
+func cmdFlags(name string) (map[string]bool, error) {
+	dir := filepath.Join("cmd", name)
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return nil, fmt.Errorf("documented command cmd/%s does not exist", name)
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	flags := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "flag" {
+					return true
+				}
+				// flag.Xxx(name, ...) or flag.XxxVar(&v, name, ...).
+				arg := call.Args[0]
+				if strings.HasSuffix(sel.Sel.Name, "Var") && len(call.Args) > 1 {
+					arg = call.Args[1]
+				}
+				if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					flags[strings.Trim(lit.Value, `"`)] = true
+				}
+				return true
+			})
+		}
+	}
+	return flags, nil
+}

@@ -121,4 +121,7 @@ func main() {
 		}
 		fmt.Fprintf(out, "--- %s done in %v ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	if *showStats {
+		fmt.Fprintf(out, "%s\n", fault.DefaultPreparedCache().Stats())
+	}
 }

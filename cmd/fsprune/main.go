@@ -116,6 +116,10 @@ func main() {
 	inst.Target.WarpSize = *warp
 	inst.Target.FullRun = *fullRun
 	inst.Target.CheckpointStride = *ckptStride
+	// Route every Prepare of this process through the shared cache: the
+	// pipeline stages below (auto-loop, plan, estimate, baseline) each
+	// amortize this target's golden run instead of repeating it.
+	inst.Target.Cache = fault.DefaultPreparedCache()
 	fatal(inst.Target.Prepare())
 	prof := inst.Target.Profile()
 	space := fault.NewSpace(prof)
@@ -202,6 +206,7 @@ func main() {
 		if *showStats {
 			fmt.Printf("pruned campaign:  %s\n", estRes.Stats)
 			fmt.Printf("all campaigns:    %s\n", sink.Total())
+			fmt.Printf("%s\n", fault.DefaultPreparedCache().Stats())
 		}
 
 	case "baseline":
@@ -215,6 +220,7 @@ func main() {
 		fmt.Printf("adaptive random baseline: %s\n", res)
 		if *showStats {
 			fmt.Printf("campaign stats: %s\n", res.Stats)
+			fmt.Printf("%s\n", fault.DefaultPreparedCache().Stats())
 		}
 
 	case "campaign":
@@ -292,6 +298,7 @@ func main() {
 		}
 		if *showStats {
 			fmt.Printf("campaign stats: %s\n", sink.Total())
+			fmt.Printf("%s\n", fault.DefaultPreparedCache().Stats())
 		}
 
 	default:

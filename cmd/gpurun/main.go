@@ -27,6 +27,7 @@ func main() {
 	traceLen := flag.Int("n", 50, "trace length cap")
 	inject := flag.String("inject", "", "inject one fault, format thread:dyninst:bit")
 	warp := flag.Int("warp", 0, "SIMT lockstep warp width (0 = thread-serial scheduling)")
+	showStats := flag.Bool("stats", false, "report prepared-target cache stats after the run")
 	flag.Parse()
 
 	sc := kernels.ScaleSmall
@@ -47,6 +48,7 @@ func main() {
 		return
 	}
 
+	inst.Target.Cache = fault.DefaultPreparedCache()
 	fatal(inst.Target.Prepare())
 	prof := inst.Target.Profile()
 	fmt.Printf("%s: grid %v block %v = %d threads, %d dynamic instructions\n",
@@ -108,6 +110,10 @@ func main() {
 		outcome, err := inst.Target.RunSite(site)
 		fatal(err)
 		fmt.Printf("injection %v -> %s\n", site, outcome)
+	}
+
+	if *showStats {
+		fmt.Printf("%s\n", fault.DefaultPreparedCache().Stats())
 	}
 }
 

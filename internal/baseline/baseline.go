@@ -77,7 +77,9 @@ func classMargins(d fault.Dist, confidence float64) [fault.NumClasses]float64 {
 
 // Fixed runs the paper's fixed-size campaign: the Eq. 2 sample size for the
 // requested confidence/margin over the target's fault-site space (capped by
-// MaxRuns when set).
+// MaxRuns when set). The target is Prepared if needed (through its
+// fault.PreparedCache when one is attached, sharing the golden run with the
+// pruned pipeline it is compared against).
 func Fixed(t *fault.Target, opt Options) (*Result, error) {
 	if err := t.Prepare(); err != nil {
 		return nil, err

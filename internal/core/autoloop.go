@@ -52,7 +52,9 @@ const (
 //
 // The search runs real injection campaigns, so its cost is the sum of the
 // per-step plan sizes; on pruned plans this is still orders of magnitude
-// below one exhaustive campaign.
+// below one exhaustive campaign. Every step re-plans on the same target, so
+// the golden run and checkpoint store are built once — and with a
+// fault.PreparedCache attached, shared with the rest of the pipeline.
 func AutoLoopIters(t *fault.Target, opt AutoLoopOptions) (*AutoLoopResult, error) {
 	maxIters := opt.MaxIters
 	if maxIters <= 0 {

@@ -6,6 +6,13 @@
 // error resilience profile. The output of the pipeline is a small set of
 // weighted fault sites whose weighted outcome distribution estimates the
 // profile of the full space.
+//
+// Entry points: BuildPlan derives a pruning Plan from a prepared
+// fault.Target (Prepare is invoked if needed, and routes through the
+// target's PreparedCache when one is attached — so Estimate, AutoLoopIters
+// and campaign stages of one pipeline amortize a single golden run);
+// Plan.Estimate runs the plan's weighted sites as an injection campaign and
+// returns the estimated resilience profile.
 package core
 
 import (

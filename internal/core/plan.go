@@ -75,7 +75,10 @@ type Plan struct {
 	Stages StageSites
 }
 
-// BuildPlan runs the four progressive pruning stages over a prepared target.
+// BuildPlan runs the four progressive pruning stages over a prepared
+// target. It Prepares the target if the caller has not; with a
+// fault.PreparedCache attached to the target, that Prepare is served from
+// the cache when an equal-keyed target already ran its golden execution.
 func BuildPlan(t *fault.Target, opt Options) (*Plan, error) {
 	if err := t.Prepare(); err != nil {
 		return nil, err

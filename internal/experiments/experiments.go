@@ -158,7 +158,11 @@ func ByID(id string) (Experiment, bool) {
 	return e, ok
 }
 
-// buildPrepared builds and prepares a kernel instance.
+// buildPrepared builds and prepares a kernel instance. Every experiment
+// funnels through here, and Prepare routes through the process-wide
+// prepared-target cache: an experiment sweep re-building the same
+// kernel+scale (each table and figure builds its own instances) performs
+// one golden run per distinct configuration instead of one per instance.
 func buildPrepared(name string, scale kernels.Scale) (*kernels.Instance, error) {
 	spec, ok := kernels.ByName(name)
 	if !ok {
@@ -168,6 +172,7 @@ func buildPrepared(name string, scale kernels.Scale) (*kernels.Instance, error) 
 	if err != nil {
 		return nil, err
 	}
+	inst.Target.Cache = fault.DefaultPreparedCache()
 	if err := inst.Target.Prepare(); err != nil {
 		return nil, err
 	}

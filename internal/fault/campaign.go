@@ -90,6 +90,20 @@ type CampaignStats struct {
 	// Quarantined counts sites that exhausted their attempts and were
 	// bucketed as EngineError.
 	Quarantined int64
+	// CacheHits, CacheMisses and PreparedShared describe how this campaign's
+	// target was Prepared when routed through a PreparedCache: served from a
+	// finished entry, performed the golden run itself, or waited on another
+	// caller's in-flight golden run. The first campaign on a target reports
+	// its Prepare exactly once (later campaigns on the same target report
+	// zeros), so pipeline-aggregated stats count each golden run once.
+	CacheHits      int64
+	CacheMisses    int64
+	PreparedShared int64
+	// AffinityResets counts pooled-device resets that switched checkpoint
+	// sources — the slow full-restore path of Device.ResetFrom that
+	// snapshot-affine scheduling exists to avoid. Near the chunk-transition
+	// count when affinity works; near Runs when it does not.
+	AffinityResets int64
 }
 
 // Merge accumulates another campaign's stats: counters add, wall times add
@@ -106,6 +120,10 @@ func (s *CampaignStats) Merge(o CampaignStats) {
 	s.Replayed += o.Replayed
 	s.Retries += o.Retries
 	s.Quarantined += o.Quarantined
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.PreparedShared += o.PreparedShared
+	s.AffinityResets += o.AffinityResets
 	if o.Checkpoints > s.Checkpoints {
 		s.Checkpoints = o.Checkpoints
 	}
@@ -128,6 +146,13 @@ func (s CampaignStats) String() string {
 	}
 	if s.Retries > 0 || s.Quarantined > 0 {
 		out += fmt.Sprintf(", %d retries, %d quarantined", s.Retries, s.Quarantined)
+	}
+	if s.CacheHits > 0 || s.CacheMisses > 0 || s.PreparedShared > 0 {
+		out += fmt.Sprintf(", prepare cache %d hit/%d miss/%d shared",
+			s.CacheHits, s.CacheMisses, s.PreparedShared)
+	}
+	if s.AffinityResets > 0 {
+		out += fmt.Sprintf(", %d affinity resets", s.AffinityResets)
 	}
 	return out
 }
@@ -230,6 +255,7 @@ type devicePool struct {
 	pool     sync.Pool
 	created  atomic.Int64
 	pages    atomic.Int64
+	srcSw    atomic.Int64
 }
 
 func newDevicePool(pristine *gpusim.Device) *devicePool {
@@ -248,6 +274,7 @@ func (p *devicePool) get() *gpusim.Device { return p.pool.Get().(*gpusim.Device)
 
 func (p *devicePool) put(d *gpusim.Device) {
 	p.pages.Add(d.TakePagesCopied())
+	p.srcSw.Add(d.TakeSrcSwitches())
 	p.pool.Put(d)
 }
 
@@ -291,14 +318,23 @@ func (t *Target) runCampaign(sites []WeightedSite, opt CampaignOptions, model Mo
 	}
 
 	pool := newDevicePool(t.Init)
-	res, st, err := runWith(sites, t.scheduleOrder(sites), opt, func(s Site) (Outcome, runCost, error) {
-		dev := pool.get()
-		o, cost, rerr := t.injectOn(dev, s, model)
-		pool.put(dev)
-		return o, cost, rerr
-	})
+	eng := campaignEngine{
+		newRunner: func() (func(Site) (Outcome, runCost, error), func()) {
+			r := &workerRunner{t: t, model: model, pool: pool}
+			return r.run, r.close
+		},
+	}
+	if ck := t.ckpt; ck != nil {
+		tpc := t.Block.Count()
+		eng.affinityOf = func(i int) int {
+			return ck.SnapshotIndex(sites[i].Site.Thread / tpc)
+		}
+	}
+	res, st, err := runEngine(sites, t.scheduleOrder(sites), opt, eng)
 	st.PagesCopied = pool.pages.Load()
 	st.DevicesCreated = int(pool.created.Load())
+	st.AffinityResets = pool.srcSw.Load()
+	st.CacheHits, st.CacheMisses, st.PreparedShared = t.takePrepStats()
 	if ck := t.ckpt; ck != nil {
 		st.Checkpoints = ck.Count()
 		st.CheckpointBytes = ck.Bytes()
@@ -339,25 +375,53 @@ func (t *Target) scheduleOrder(sites []WeightedSite) []int {
 	return order
 }
 
-// runWith is the shared parallel campaign engine; runSite evaluates one
-// site. order, when non-nil, is the permutation mapping schedule position to
-// input index (identity when nil): sites execute in schedule order, while
-// outcomes, aggregation and error attribution stay in input order. The
-// engine first replays the attached journal (outcomes already on disk are
-// final) and drops schedule positions owned by other shards, leaving a work
-// list that is handed out in batches from a shared cursor; each completed
-// site is journaled before the campaign moves on.
+// campaignEngine supplies the per-worker execution hooks of runEngine.
+type campaignEngine struct {
+	// newRunner builds one worker's site executor plus its cleanup (called
+	// when the worker exits). Campaigns hand out device-pinning runners
+	// (workerRunner); tests use a shared stub with a no-op cleanup.
+	newRunner func() (run func(Site) (Outcome, runCost, error), cleanup func())
+	// affinityOf, when non-nil, maps an input-order site index to its
+	// scheduling affinity key (the checkpoint snapshot ordinal): chunks
+	// never span affinity boundaries, so a worker's pinned device switches
+	// reset sources only between chunks.
+	affinityOf func(inputIdx int) int
+}
+
+// runWith runs the campaign engine with a single shared site evaluator and
+// no scheduling affinity — the exact pre-affinity engine semantics, kept as
+// the seam the engine's behavioral tests drive.
+func runWith(sites []WeightedSite, order []int, opt CampaignOptions,
+	runSite func(Site) (Outcome, runCost, error)) (*CampaignResult, CampaignStats, error) {
+	return runEngine(sites, order, opt, campaignEngine{
+		newRunner: func() (func(Site) (Outcome, runCost, error), func()) {
+			return runSite, func() {}
+		},
+	})
+}
+
+// runEngine is the shared parallel campaign engine. order, when non-nil, is
+// the permutation mapping schedule position to input index (identity when
+// nil): sites execute in schedule order, while outcomes, aggregation and
+// error attribution stay in input order. The engine first replays the
+// attached journal (outcomes already on disk are final) and drops schedule
+// positions owned by other shards, leaving a work list that is cut into
+// contiguous chunks along affinity boundaries (see buildChunks) and dealt
+// to workers with whole-chunk stealing; each completed site is journaled
+// before the campaign moves on. Scheduling affects only which worker (and
+// so which pooled device) runs a site — every run resets its device to the
+// same snapshot content, so outcomes are independent of the schedule.
 //
 // Failure handling depends on FailFast. In the default isolating mode a
 // failing site is retried and eventually quarantined as EngineError, and
 // only journal-append failures or an Interrupt stop the campaign. With
-// FailFast, the first site error cancels it: the batch cursor stops short
-// of the failing work position, in-flight workers skip positions at or
-// beyond it, and — because the error position only ever decreases and every
-// position below it is still executed — the returned error is the one of
-// the lowest-scheduled failing site regardless of goroutine scheduling.
-func runWith(sites []WeightedSite, order []int, opt CampaignOptions,
-	runSite func(Site) (Outcome, runCost, error)) (*CampaignResult, CampaignStats, error) {
+// FailFast, the first site error cancels it: chunks entirely at or beyond
+// the failing work position are discarded, in-flight workers skip positions
+// at or beyond it, and — because the error position only ever decreases and
+// every position below it is still executed — the returned error is the one
+// of the lowest-scheduled failing site regardless of goroutine scheduling.
+func runEngine(sites []WeightedSite, order []int, opt CampaignOptions,
+	eng campaignEngine) (*CampaignResult, CampaignStats, error) {
 
 	if err := opt.Shard.validate(); err != nil {
 		return nil, CampaignStats{}, err
@@ -440,40 +504,37 @@ func runWith(sites []WeightedSite, order []int, opt CampaignOptions,
 		}
 	}
 
-	var next int64
-	var mu sync.Mutex
-	takeBatch := func() (lo, hi int) {
-		const batch = 16
-		if stop() {
-			return 0, 0
-		}
-		limit := int(errLimit.Load())
-		mu.Lock()
-		defer mu.Unlock()
-		lo = int(next)
-		if lo >= limit {
-			return 0, 0
-		}
-		hi = lo + batch
-		if hi > len(work) {
-			hi = len(work)
-		}
-		next = int64(hi)
-		return lo, hi
+	// Cut the work list into affinity-respecting chunks and deal contiguous
+	// runs of them to workers. The work list is a subsequence of the
+	// schedule order, so positions with equal affinity keys are already
+	// contiguous within it.
+	var key func(pos int) int
+	if eng.affinityOf != nil {
+		key = func(pos int) int { return eng.affinityOf(input(work[pos])) }
+	}
+	var queues *chunkQueues
+	if workers > 0 {
+		chunks := buildChunks(len(work), key, chunkTargetSize(len(work), workers))
+		queues = newChunkQueues(chunks, workers, len(work))
 	}
 
 	g := newGuard(opt)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			runSite, cleanup := eng.newRunner()
+			defer cleanup()
 			for {
-				lo, hi := takeBatch()
-				if lo == hi {
+				if stop() {
 					return
 				}
-				for wpos := lo; wpos < hi; wpos++ {
+				c, ok := queues.next(w, int(errLimit.Load()))
+				if !ok {
+					return
+				}
+				for wpos := c.lo; wpos < c.hi; wpos++ {
 					if int64(wpos) >= errLimit.Load() || stop() {
 						break
 					}
@@ -521,7 +582,7 @@ func runWith(sites []WeightedSite, order []int, opt CampaignOptions,
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

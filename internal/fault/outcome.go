@@ -3,6 +3,17 @@
 // outcome classification into masked / SDC / other (Section II-B), the
 // exhaustive fault-site space with uniform random sampling (the 60K-run
 // baseline), and a parallel campaign runner.
+//
+// The central types: Target is one kernel launch prepared for injection
+// (Prepare performs the golden run, builds the per-thread profile and the
+// checkpoint store; a PreparedCache shares that work across targets with
+// equal keys); Site names one fault (thread, dynamic instruction, bit); Run
+// executes a weighted-site campaign on pooled copy-on-write devices with
+// checkpointed fast-forward, snapshot-affine scheduling, per-site failure
+// isolation (retry, deadline, quarantine into EngineError), and optional
+// durability through a write-ahead journal with deterministic sharding. A
+// campaign's execution is summarized by CampaignStats; its aggregate
+// outcome by Dist, the paper's resilience profile.
 package fault
 
 import "fmt"

@@ -1,0 +1,291 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/gpusim"
+	"repro/internal/trace"
+)
+
+// The prepared-target cache amortizes Target.Prepare across a pipeline:
+// Plan.Estimate, AutoLoopIters, the adaptive baseline and campaign Run each
+// build their own Target for the same kernel+scale, and without sharing each
+// re-executes the golden run and rebuilds the checkpoint store. A
+// PreparedCache keys the immutable prepared state (golden output, profile,
+// watchdog, checkpoint store — all read-only after Prepare) and hands it to
+// every later consumer with an equal key. The first caller runs the golden
+// execution; concurrent callers with the same key block on the in-flight
+// entry (singleflight); everyone else adopts the finished artifacts.
+// Soundness argument and key derivation: DESIGN.md §3.4.
+
+// DefaultPreparedCacheBytes bounds the retained checkpoint-store and
+// golden-artifact bytes of the process-wide cache (see
+// DefaultPreparedCache). 256 MiB holds every kernel of the built-in suite
+// at small and paper scales with room to spare.
+const DefaultPreparedCacheBytes int64 = 256 << 20
+
+// prepareKey identifies one prepared-target equivalence class: targets with
+// equal keys produce bit-identical golden runs, profiles and checkpoint
+// stores, because the simulator is deterministic in all of these inputs.
+// Program identity is covered by name+geometry for the built-in kernel
+// suite; cfgHash folds params, output ranges and the initial device content
+// so that same-named targets with different inputs (custom kernels) never
+// collide.
+type prepareKey struct {
+	name           string
+	grid, block    gpusim.Dim3
+	sharedBytes    int
+	warpSize       int
+	fullRun        bool
+	stride         int
+	watchdogFactor int64
+	cfgHash        uint64
+}
+
+// prepareKey derives the cache key of a target. It hashes the initial
+// device content (Device.Fingerprint) — one page-hash pass, far cheaper
+// than the golden run being amortized.
+func (t *Target) prepareKey() prepareKey {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) { h = (h ^ v) * prime }
+	mix(uint64(len(t.Params)))
+	for _, p := range t.Params {
+		mix(uint64(p))
+	}
+	mix(uint64(len(t.Output)))
+	for _, r := range t.Output {
+		mix(uint64(r.Off))
+		mix(uint64(r.Len))
+	}
+	mix(t.Init.Fingerprint())
+	return prepareKey{
+		name:           t.Name,
+		grid:           t.Grid,
+		block:          t.Block,
+		sharedBytes:    t.SharedBytes,
+		warpSize:       t.WarpSize,
+		fullRun:        t.FullRun,
+		stride:         t.CheckpointStride,
+		watchdogFactor: t.WatchdogFactor,
+		cfgHash:        h,
+	}
+}
+
+// preparedState is the immutable artifact set one golden run produces. All
+// fields are read-only after Prepare and safe to share across targets and
+// goroutines.
+type preparedState struct {
+	golden   []byte
+	watchdog int64
+	profile  *trace.Profile
+	ckpt     *gpusim.Checkpoints
+}
+
+// approxBytes estimates the memory the entry pins beyond the pristine
+// device: golden output, per-thread dynamic PC streams, and checkpoint
+// snapshot pages.
+func (s *preparedState) approxBytes() int64 {
+	n := int64(len(s.golden))
+	if s.profile != nil {
+		for i := range s.profile.Threads {
+			n += int64(len(s.profile.Threads[i].PCs))*2 + 48
+		}
+	}
+	if s.ckpt != nil {
+		n += s.ckpt.Bytes()
+	}
+	return n
+}
+
+// install adopts shared prepared state into the target.
+func (t *Target) install(s *preparedState) {
+	t.golden = s.golden
+	t.watchdog = s.watchdog
+	t.profile = s.profile
+	t.ckpt = s.ckpt
+}
+
+// snapshotPrepared captures the target's prepared state for sharing.
+func (t *Target) snapshotPrepared() *preparedState {
+	return &preparedState{
+		golden:   t.golden,
+		watchdog: t.watchdog,
+		profile:  t.profile,
+		ckpt:     t.ckpt,
+	}
+}
+
+// takePrepStats harvests the target's Prepare provenance counters exactly
+// once — the first campaign run on the target reports them into
+// CampaignStats, so a pipeline's aggregated stats count each Prepare once
+// no matter how many campaigns the target serves.
+func (t *Target) takePrepStats() (hits, misses, shared int64) {
+	hits, misses, shared = t.prepHits, t.prepMisses, t.prepShared
+	t.prepHits, t.prepMisses, t.prepShared = 0, 0, 0
+	return
+}
+
+// CacheStats is a point-in-time summary of a PreparedCache.
+type CacheStats struct {
+	// Hits counts Prepares served from a finished entry; Misses counts
+	// Prepares that performed the golden run; Shared counts Prepares that
+	// blocked on another caller's in-flight golden run.
+	Hits, Misses, Shared int64
+	// Evictions counts entries dropped to respect the byte bound.
+	Evictions int64
+	// Entries and Bytes describe current residency.
+	Entries int
+	Bytes   int64
+}
+
+// String renders the stats in the -stats one-line style.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("prepared cache: %d hits, %d misses, %d shared, %d evictions, %d entries (%.1f MiB)",
+		s.Hits, s.Misses, s.Shared, s.Evictions, s.Entries,
+		float64(s.Bytes)/(1<<20))
+}
+
+// prepEntry is one cache slot. ready is closed when the golden run
+// finished (successfully or not); done/state/err are written before the
+// close and only read after it (waiters) or under the cache lock (hits).
+type prepEntry struct {
+	key     prepareKey
+	ready   chan struct{}
+	done    bool
+	state   *preparedState
+	err     error
+	bytes   int64
+	lastUse int64
+}
+
+// PreparedCache shares prepared-target state across Targets with equal
+// keys. It is safe for concurrent use. Entries are evicted least recently
+// used once retained bytes exceed the bound, except the entry being
+// returned and entries still in flight. A zero PreparedCache is not usable;
+// construct with NewPreparedCache or use DefaultPreparedCache.
+type PreparedCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	seq      int64
+	bytes    int64
+	entries  map[prepareKey]*prepEntry
+	hits     int64
+	misses   int64
+	shared   int64
+	evicted  int64
+}
+
+// NewPreparedCache builds a cache bounded to maxBytes of retained prepared
+// state (approximate; see preparedState.approxBytes). maxBytes <= 0 selects
+// DefaultPreparedCacheBytes.
+func NewPreparedCache(maxBytes int64) *PreparedCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultPreparedCacheBytes
+	}
+	return &PreparedCache{
+		maxBytes: maxBytes,
+		entries:  make(map[prepareKey]*prepEntry),
+	}
+}
+
+var processCache = NewPreparedCache(0)
+
+// DefaultPreparedCache returns the process-wide prepared-target cache the
+// CLIs and the experiments harness share.
+func DefaultPreparedCache() *PreparedCache { return processCache }
+
+// Stats returns a point-in-time summary.
+func (c *PreparedCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Shared: c.shared,
+		Evictions: c.evicted, Entries: len(c.entries), Bytes: c.bytes,
+	}
+}
+
+// prepare is the Prepare path for a cache-routed target (t.Cache == c).
+func (c *PreparedCache) prepare(t *Target) error {
+	key := t.prepareKey()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.done {
+			// Finished entries with errors are removed on completion, so a
+			// resident done entry always holds usable state.
+			c.hits++
+			t.prepHits++
+			c.seq++
+			e.lastUse = c.seq
+			s := e.state
+			c.mu.Unlock()
+			t.install(s)
+			return nil
+		}
+		// Another caller's golden run is in flight: wait for it.
+		c.shared++
+		t.prepShared++
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return e.err
+		}
+		t.install(e.state)
+		return nil
+	}
+
+	// First caller for this key: publish the in-flight entry, run the
+	// golden execution outside the lock, then finalize.
+	e := &prepEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	t.prepMisses++
+	c.mu.Unlock()
+
+	err := t.prepareCold()
+
+	c.mu.Lock()
+	if err != nil {
+		// Do not cache failures: a later caller may fix the target (or the
+		// failure may be transient) and should get a fresh attempt.
+		e.err = err
+		delete(c.entries, key)
+	} else {
+		e.state = t.snapshotPrepared()
+		e.bytes = e.state.approxBytes()
+		e.done = true
+		c.seq++
+		e.lastUse = c.seq
+		c.bytes += e.bytes
+		c.evictLocked(e)
+	}
+	close(e.ready)
+	c.mu.Unlock()
+	return err
+}
+
+// evictLocked drops least-recently-used finished entries until retained
+// bytes fit the bound. The entry being returned (keep) and in-flight
+// entries are never evicted, so the newest entry is always admitted — a
+// single oversized kernel degrades the cache to pass-through rather than
+// failing.
+func (c *PreparedCache) evictLocked(keep *prepEntry) {
+	for c.bytes > c.maxBytes {
+		var victim *prepEntry
+		for _, e := range c.entries {
+			if e == keep || !e.done {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(c.entries, victim.key)
+		c.bytes -= victim.bytes
+		c.evicted++
+	}
+}

@@ -53,10 +53,23 @@ type Target struct {
 	// snapshots; 0 picks gpusim.AutoCheckpointStride from the grid size.
 	CheckpointStride int
 
+	// Cache, when non-nil, routes Prepare through a shared prepared-target
+	// cache: the first target with a given key (see prepareKey) performs the
+	// golden run, concurrent callers block on the in-flight entry, and later
+	// callers adopt the immutable golden output, profile and checkpoint
+	// store without re-executing. See PreparedCache. Set it before the first
+	// Prepare; a single Target must still not be Prepared concurrently with
+	// itself.
+	Cache *PreparedCache
+
 	golden   []byte
 	watchdog int64
 	profile  *trace.Profile
 	ckpt     *gpusim.Checkpoints
+
+	// Cache provenance of this target's Prepare, harvested once (by the
+	// first campaign run on it) into CampaignStats; see takePrepStats.
+	prepHits, prepMisses, prepShared int64
 }
 
 // DefaultWatchdogFactor multiplies the fault-free maximum thread iCnt to
@@ -83,13 +96,25 @@ func (t *Target) launch(inj *gpusim.Injection, tracer gpusim.Tracer, watchdog in
 // Threads is the total thread count of the launch.
 func (t *Target) Threads() int { return t.Grid.Count() * t.Block.Count() }
 
-// Prepare runs the fault-free golden execution with tracing, capturing the
-// golden output, the per-thread profile, and the injection watchdog. It must
-// be called (once) before Profile, Golden, or RunSite.
+// Prepare readies the target for injection: golden output, per-thread
+// profile, injection watchdog, and (unless FullRun) the checkpoint store.
+// It must be called before Profile, Golden, or RunSite; calling it again is
+// a no-op. With Cache set, the golden run happens at most once per distinct
+// prepared-target key process-wide — otherwise this target performs it
+// itself.
 func (t *Target) Prepare() error {
 	if t.profile != nil {
 		return nil
 	}
+	if t.Cache != nil {
+		return t.Cache.prepare(t)
+	}
+	return t.prepareCold()
+}
+
+// prepareCold runs the fault-free golden execution with tracing, capturing
+// the golden output, the per-thread profile, and the injection watchdog.
+func (t *Target) prepareCold() error {
 	if len(t.Output) == 0 {
 		return fmt.Errorf("fault: target %s has no output ranges", t.Name)
 	}

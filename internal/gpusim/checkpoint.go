@@ -67,11 +67,19 @@ func (c *Checkpoints) Bytes() int64 { return c.bytes }
 // SnapshotFor returns the snapshot with the largest boundary at or below cta,
 // and that boundary — the resume point for an injection into cta.
 func (c *Checkpoints) SnapshotFor(cta int) (*Device, int) {
+	i := c.SnapshotIndex(cta)
+	return c.snaps[i], i * c.stride
+}
+
+// SnapshotIndex returns the ordinal of the snapshot SnapshotFor(cta) resumes
+// from. The campaign scheduler uses it as the affinity key: sites that share
+// a snapshot index reset a pooled device on the same-source fast path.
+func (c *Checkpoints) SnapshotIndex(cta int) int {
 	i := cta / c.stride
 	if i >= len(c.snaps) {
 		i = len(c.snaps) - 1
 	}
-	return c.snaps[i], i * c.stride
+	return i
 }
 
 // Converged reports whether dev — reset from SnapshotFor(boundary-1) and

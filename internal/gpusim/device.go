@@ -6,6 +6,23 @@
 // instruction of every thread), and classifies abnormal terminations
 // (memory faults, watchdog hangs, barrier deadlocks) that fold into the
 // paper's "other" outcome category.
+//
+// The memory system is built for injection campaigns that run the same
+// kernel thousands of times with one bit flipped per run. Device holds
+// global memory as copy-on-write pages (PageSize): Clone freezes the
+// current image and shares every page, ResetFrom restores a pooled device
+// to a frozen image copying only the pages a run dirtied, and HashPage
+// summarizes page content for golden-state comparison. Checkpoints layers
+// strided CTA-boundary snapshots of the fault-free ("golden") run on top,
+// so an injection into CTA k can resume from the nearest snapshot at or
+// before k instead of re-executing the fault-free prefix, and Converged
+// can end a run early once its memory image provably matches the golden
+// run's at the same boundary.
+//
+// Execution entry points: Execute runs a Launch to completion (or trap),
+// optionally injecting one fault (Injection) and tracing every retired
+// instruction (Tracer); ProfileTrace captures the per-thread dynamic PC
+// streams the pruning methodology consumes.
 package gpusim
 
 import (
@@ -241,6 +258,11 @@ type Device struct {
 	// device from a different checkpoint snapshot), which requires restoring
 	// every owned page, not just the dirty ones.
 	src *Device
+	// srcSwitches counts ResetFrom calls that switched sources (the slow
+	// full-restore path) since the last TakeSrcSwitches. Campaign stats
+	// report this as AffinityResets: snapshot-affine scheduling exists to
+	// keep it near the number of distinct snapshots per worker.
+	srcSwitches int64
 
 	// Const is the read-only constant segment.
 	Const []byte
@@ -344,6 +366,7 @@ func (d *Device) ResetFrom(src *Device) {
 		}
 		d.dirtyIdx = d.dirtyIdx[:0]
 		d.src = src
+		d.srcSwitches++
 		return
 	}
 	for _, p := range d.dirtyIdx {
@@ -368,6 +391,39 @@ func (d *Device) TakePagesCopied() int64 {
 	n := d.pagesCopied
 	d.pagesCopied = 0
 	return n
+}
+
+// TakeSrcSwitches returns the number of ResetFrom source switches (full
+// restores of every owned page, as opposed to dirty-only fast resets)
+// since the last call, and resets the counter.
+func (d *Device) TakeSrcSwitches() int64 {
+	n := d.srcSwitches
+	d.srcSwitches = 0
+	return n
+}
+
+// Fingerprint returns a 64-bit content hash of the device: global-memory
+// size and page contents plus the constant segment. Two devices built by
+// the same deterministic initialization have equal fingerprints; the
+// prepared-target cache folds it into its key so that targets that agree
+// on name and geometry but differ in initial memory (distinct inputs)
+// never share golden state. Cost is one HashPage pass per page — far
+// cheaper than the golden run the cache amortizes.
+func (d *Device) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(d.size)) * prime
+	for p := range d.pages {
+		h = (h ^ d.HashPage(p)) * prime
+	}
+	h = (h ^ uint64(len(d.Const))) * prime
+	for i := 0; i+4 <= len(d.Const); i += 4 {
+		h = (h ^ uint64(getWord(d.Const, i))) * prime
+	}
+	for i := len(d.Const) &^ 3; i < len(d.Const); i++ {
+		h = (h ^ uint64(d.Const[i])) * prime
+	}
+	return h
 }
 
 // NumPages is the number of global-memory pages (see PageSize).

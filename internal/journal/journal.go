@@ -1,12 +1,27 @@
 // Package journal implements the append-only write-ahead outcome journal
 // behind durable, resumable injection campaigns. One record is written per
 // completed fault site (its key, outcome, weight, fast-forward cost and —
-// for quarantined sites — the engine error), framed with a length + CRC32C
-// header so a tail torn by a crash or kill -9 is truncated on the next open
-// instead of poisoning the file. The journal opens against an engine
-// fingerprint (kernel, scale, seed, model, warp, checkpoint stride, site
-// count, shard); a journal written under a different fingerprint is rejected
-// as stale rather than silently replayed into the wrong campaign.
+// for quarantined sites — the engine error).
+//
+// # On-disk format
+//
+// A journal is a flat sequence of frames. Each frame is
+//
+//	[u32 payload length][u32 CRC32C of payload][JSON payload]
+//
+// with both header words little-endian and the CRC using the Castagnoli
+// polynomial. Frame 0's payload is the campaign Fingerprint (the header);
+// every following frame's payload is one Record. Appends write each frame
+// with a single Write call, so a crash or kill -9 can only tear the final
+// frame; on the next Open the scan stops at the first short, oversized or
+// checksum-failing frame and truncates the file there (the torn-tail rule)
+// — a torn tail costs at most one site's record, never the file.
+//
+// The journal opens against an engine fingerprint (kernel, scale, seed,
+// model, warp, checkpoint stride, site count, shard); a journal written
+// under a different fingerprint is rejected as stale rather than silently
+// replayed into the wrong campaign, and the error spells out the differing
+// fields (see Fingerprint.Diff).
 //
 // The caller contract is write-ahead in the outcome sense: a record is
 // appended only after its site's outcome is final, so every replayed record
@@ -24,6 +39,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -66,6 +82,30 @@ func (f Fingerprint) String() string {
 func (f Fingerprint) SameCampaign(o Fingerprint) bool {
 	f.ShardIndex, o.ShardIndex = 0, 0
 	return f == o
+}
+
+// Diff lists the fields on which f (the expected fingerprint) and o (the
+// one actually found) disagree, as "field: want X, got Y" clauses — the
+// actionable part of a mismatch error. Returns "" when the fingerprints are
+// equal.
+func (f Fingerprint) Diff(o Fingerprint) string {
+	var parts []string
+	add := func(field string, want, got any) {
+		if want != got {
+			parts = append(parts, fmt.Sprintf("%s: want %v, got %v", field, want, got))
+		}
+	}
+	add("kernel", f.Kernel, o.Kernel)
+	add("scale", f.Scale, o.Scale)
+	add("seed", f.Seed, o.Seed)
+	add("model", f.Model, o.Model)
+	add("warp", f.Warp, o.Warp)
+	add("stride", f.Stride, o.Stride)
+	add("full_run", f.FullRun, o.FullRun)
+	add("sites", f.Sites, o.Sites)
+	add("shard_index", f.ShardIndex, o.ShardIndex)
+	add("shard_count", f.ShardCount, o.ShardCount)
+	return strings.Join(parts, "; ")
 }
 
 // Record is one completed fault site. Field names are shortened because a
@@ -216,8 +256,8 @@ func Open(path string, fp Fingerprint) (*Journal, error) {
 	}
 	if have != fp {
 		f.Close()
-		return nil, fmt.Errorf("%w: %s holds [%s], campaign is [%s]",
-			ErrFingerprintMismatch, path, have, fp)
+		return nil, fmt.Errorf("%w: %s was recorded for a different campaign (%s)",
+			ErrFingerprintMismatch, path, fp.Diff(have))
 	}
 	if goodEnd < len(data) {
 		// Torn tail: drop the partial frame so the next append starts on a
@@ -336,8 +376,10 @@ func Merge(paths []string, allowPartial bool) (Fingerprint, []Record, error) {
 			base = fp
 			base.ShardIndex = 0
 		} else if !fp.SameCampaign(base) {
-			return base, nil, fmt.Errorf("%w: %s holds [%s], %s holds [%s]",
-				ErrFingerprintMismatch, paths[0], base, path, fp)
+			want, got := base, fp
+			want.ShardIndex, got.ShardIndex = 0, 0
+			return base, nil, fmt.Errorf("%w: %s and %s are not shards of one campaign (%s)",
+				ErrFingerprintMismatch, paths[0], path, want.Diff(got))
 		}
 		if fp.ShardCount < 1 || fp.ShardIndex < 0 || fp.ShardIndex >= fp.ShardCount {
 			return base, nil, fmt.Errorf("journal: %s: shard %d/%d out of range",

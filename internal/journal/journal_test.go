@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -354,5 +355,65 @@ func TestMergeValidation(t *testing.T) {
 	ovj.Close()
 	if _, _, err := Merge([]string{paths[0], overlap}, true); err == nil {
 		t.Fatal("overlapping site indices accepted")
+	}
+}
+
+// TestFingerprintDiff: Diff names exactly the differing fields with
+// expected-vs-got values, and is empty for equal fingerprints.
+func TestFingerprintDiff(t *testing.T) {
+	a := testFP()
+	if d := a.Diff(a); d != "" {
+		t.Fatalf("equal fingerprints diff = %q", d)
+	}
+	b := a
+	b.Seed = 99
+	b.Model = "mem-addr"
+	d := a.Diff(b)
+	if want := "seed: want 7, got 99"; !strings.Contains(d, want) {
+		t.Fatalf("diff %q missing %q", d, want)
+	}
+	if want := "model: want dest-value, got mem-addr"; !strings.Contains(d, want) {
+		t.Fatalf("diff %q missing %q", d, want)
+	}
+	if strings.Contains(d, "kernel") || strings.Contains(d, "sites") {
+		t.Fatalf("diff %q names fields that match", d)
+	}
+}
+
+// TestMismatchErrorsNameFields: the Open and Merge fingerprint-mismatch
+// errors spell out the offending fields, not just "mismatch".
+func TestMismatchErrorsNameFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.journal")
+	j, err := Open(path, testFP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	fp := testFP()
+	fp.Stride = 4
+	_, err = Open(path, fp)
+	if !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if want := "stride: want 4, got 2"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("open error %q missing %q", err, want)
+	}
+
+	other := filepath.Join(dir, "other.journal")
+	ofp := testFP()
+	ofp.Kernel = "MVT K1"
+	oj, err := Open(other, ofp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oj.Close()
+	_, _, err = Merge([]string{path, other}, true)
+	if !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("merge err = %v", err)
+	}
+	if want := "kernel: want GEMM K1, got MVT K1"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("merge error %q missing %q", err, want)
 	}
 }

@@ -157,6 +157,10 @@ type Campaign struct {
 	Replayed        int64   `json:"replayed,omitempty"`
 	Retries         int64   `json:"retries,omitempty"`
 	Quarantined     int64   `json:"quarantined,omitempty"`
+	CacheHits       int64   `json:"cache_hits,omitempty"`
+	CacheMisses     int64   `json:"cache_misses,omitempty"`
+	PreparedShared  int64   `json:"prepared_shared,omitempty"`
+	AffinityResets  int64   `json:"affinity_resets,omitempty"`
 }
 
 // NewCampaign converts fault.CampaignStats.
@@ -174,6 +178,10 @@ func NewCampaign(s fault.CampaignStats) Campaign {
 		Replayed:        s.Replayed,
 		Retries:         s.Retries,
 		Quarantined:     s.Quarantined,
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
+		PreparedShared:  s.PreparedShared,
+		AffinityResets:  s.AffinityResets,
 	}
 }
 
