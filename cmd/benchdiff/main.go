@@ -7,13 +7,17 @@
 // Usage:
 //
 //	benchdiff -max-regress 25 BENCH_pr2.json BENCH_pr3.json
+//	benchdiff -allow-missing -max-regress 25 BENCH_pr2.json BENCH_pr3.json
 //
 // Benchmarks present in only one file (added or retired) are listed but
-// never fail the gate.
+// never fail the gate. With -allow-missing, a nonexistent OLD file is not an
+// error either: the diff is skipped with a note and the gate passes, so
+// `make ci` works on fresh clones that lack the previous PR's recording.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,12 +26,17 @@ import (
 
 func main() {
 	maxRegress := flag.Float64("max-regress", 25, "allowed slowdown in percent before failing")
+	allowMissing := flag.Bool("allow-missing", false, "pass (with a note) when the OLD baseline file does not exist")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] [-allow-missing] OLD.json NEW.json")
 		os.Exit(2)
 	}
 	oldRes, err := load(flag.Arg(0))
+	if err != nil && *allowMissing && errors.Is(err, os.ErrNotExist) {
+		fmt.Printf("benchdiff: baseline %s missing; skipping regression gate\n", flag.Arg(0))
+		return
+	}
 	fatal(err)
 	newRes, err := load(flag.Arg(1))
 	fatal(err)

@@ -1,9 +1,13 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // object mapping benchmark name (without the -GOMAXPROCS suffix) to ns/op,
-// written to stdout. The raw input is echoed to stderr so piping through
-// benchjson keeps the benchmark progress visible:
+// written to stdout. When a benchmark appears multiple times (`-count=N`),
+// the minimum ns/op is kept: the best-of-N sample is the standard way to
+// strip scheduler and cache jitter from a single-iteration measurement, and
+// it is what the benchdiff regression gate compares. The raw input is echoed
+// to stderr so piping through benchjson keeps the benchmark progress
+// visible:
 //
-//	go test -run '^$' -bench . -benchtime 1x . | benchjson > BENCH.json
+//	go test -run '^$' -bench . -benchtime 1x -count 2 . | benchjson > BENCH.json
 package main
 
 import (
@@ -36,7 +40,9 @@ func main() {
 				continue
 			}
 			if v, err := strconv.ParseFloat(fields[j], 64); err == nil {
-				results[name] = v
+				if old, ok := results[name]; !ok || v < old {
+					results[name] = v
+				}
 			}
 		}
 	}

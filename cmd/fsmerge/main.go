@@ -53,6 +53,9 @@ func main() {
 		if r.EarlyExit {
 			stats.EarlyExits++
 		}
+		if r.IntraResumed {
+			stats.IntraSkips++
+		}
 		if r.Attempts > 1 {
 			stats.Retries += int64(r.Attempts - 1)
 		}

@@ -56,6 +56,7 @@ func main() {
 	warp := flag.Int("warp", 0, "SIMT lockstep warp width for every run (0 = serial thread interleaving)")
 	fullRun := flag.Bool("full-run", false, "disable checkpointed fast-forward; re-execute the whole grid per experiment (reference engine)")
 	ckptStride := flag.Int("ckpt-stride", 0, "CTA boundaries between golden checkpoints (0 = auto from grid size)")
+	intraStride := flag.Int("intra-stride", 0, "dynamic instructions between intra-CTA warp snapshots (0 = auto-tune, <0 = disable)")
 	journalPath := flag.String("journal", "", "write-ahead outcome journal for -action campaign (created, or resumed if it exists)")
 	shardSpec := flag.String("shard", "", `run only shard "i/n" of the campaign (with -action campaign)`)
 	flag.Parse()
@@ -68,6 +69,21 @@ func main() {
 	}
 	if *ckptStride < 0 {
 		usageError("-ckpt-stride must be >= 0 (0 = auto), got %d", *ckptStride)
+	}
+	// Flags that contradict each other are rejected up front instead of
+	// silently ignored: -full-run disables the entire fast-forward engine, so
+	// tuning either checkpoint stride alongside it is an operator mistake,
+	// and -auto-loop overwrites any explicit -loop-iters choice.
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *fullRun && explicit["ckpt-stride"] && *ckptStride != 0 {
+		usageError("-full-run disables checkpointing; it cannot be combined with -ckpt-stride %d", *ckptStride)
+	}
+	if *fullRun && explicit["intra-stride"] && *intraStride != 0 {
+		usageError("-full-run disables checkpointing; it cannot be combined with -intra-stride %d", *intraStride)
+	}
+	if *autoLoop && explicit["loop-iters"] {
+		usageError("-auto-loop selects the loop sample size itself; it cannot be combined with an explicit -loop-iters")
 	}
 	shard, err := parseShard(*shardSpec)
 	if err != nil {
@@ -116,6 +132,7 @@ func main() {
 	inst.Target.WarpSize = *warp
 	inst.Target.FullRun = *fullRun
 	inst.Target.CheckpointStride = *ckptStride
+	inst.Target.IntraStride = *intraStride
 	// Route every Prepare of this process through the shared cache: the
 	// pipeline stages below (auto-loop, plan, estimate, baseline) each
 	// amortize this target's golden run instead of repeating it.

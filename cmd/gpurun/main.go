@@ -27,6 +27,7 @@ func main() {
 	traceLen := flag.Int("n", 50, "trace length cap")
 	inject := flag.String("inject", "", "inject one fault, format thread:dyninst:bit")
 	warp := flag.Int("warp", 0, "SIMT lockstep warp width (0 = thread-serial scheduling)")
+	intraStride := flag.Int("intra-stride", 0, "dynamic instructions between intra-CTA warp snapshots for -inject (0 = auto-tune, <0 = disable)")
 	showStats := flag.Bool("stats", false, "report prepared-target cache stats after the run")
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		return
 	}
 
+	inst.Target.IntraStride = *intraStride
 	inst.Target.Cache = fault.DefaultPreparedCache()
 	fatal(inst.Target.Prepare())
 	prof := inst.Target.Profile()

@@ -18,7 +18,7 @@ var fig78Kernels = []string{"2DCONV K1", "MVT K1"}
 func RunFig7(cfg Config) error {
 	w := cfg.out()
 	for _, name := range cfg.selectNames(fig78Kernels) {
-		inst, err := buildPrepared(name, cfg.Scale)
+		inst, err := buildPrepared(name, cfg)
 		if err != nil {
 			return err
 		}
@@ -83,7 +83,7 @@ func RunFig7(cfg Config) error {
 func RunFig8(cfg Config) error {
 	w := cfg.out()
 	for _, name := range cfg.selectNames(fig78Kernels) {
-		inst, err := buildPrepared(name, cfg.Scale)
+		inst, err := buildPrepared(name, cfg)
 		if err != nil {
 			return err
 		}

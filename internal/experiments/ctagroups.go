@@ -146,7 +146,7 @@ func RunFig2(cfg Config) error {
 		if len(cfg.selectNames([]string{fk.name})) == 0 {
 			continue
 		}
-		inst, err := buildPrepared(fk.name, cfg.Scale)
+		inst, err := buildPrepared(fk.name, cfg)
 		if err != nil {
 			return err
 		}
@@ -176,7 +176,7 @@ func RunFig3(cfg Config) error {
 		if len(cfg.selectNames([]string{fk.name})) == 0 {
 			continue
 		}
-		inst, err := buildPrepared(fk.name, cfg.Scale)
+		inst, err := buildPrepared(fk.name, cfg)
 		if err != nil {
 			return err
 		}
@@ -208,7 +208,7 @@ func RunFig3(cfg Config) error {
 // runGroupTable prints a Table III/IV-style CTA+thread group table.
 func runGroupTable(cfg Config, name, caption string) error {
 	w := cfg.out()
-	inst, err := buildPrepared(name, cfg.Scale)
+	inst, err := buildPrepared(name, cfg)
 	if err != nil {
 		return err
 	}
@@ -254,7 +254,7 @@ func RunFig4(cfg Config) error {
 	w := cfg.out()
 	const sitesPerThread = 24
 	for _, name := range cfg.selectNames([]string{"2DCONV K1", "HotSpot K1"}) {
-		inst, err := buildPrepared(name, cfg.Scale)
+		inst, err := buildPrepared(name, cfg)
 		if err != nil {
 			return err
 		}

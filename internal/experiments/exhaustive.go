@@ -19,7 +19,7 @@ func RunExhaustive(cfg Config) error {
 	// Kernels whose small-scale site counts keep a full sweep under a
 	// minute on one core.
 	for _, name := range cfg.selectNames([]string{"Gaussian K125", "Gaussian K1"}) {
-		inst, err := buildPrepared(name, cfg.Scale)
+		inst, err := buildPrepared(name, cfg)
 		if err != nil {
 			return err
 		}

@@ -32,6 +32,10 @@ type Config struct {
 	// Kernels restricts multi-kernel experiments (Tables I, VI, VII,
 	// Figs. 6, 9, 10) to the named subset; nil runs the paper's full set.
 	Kernels []string
+	// IntraStride sets Target.IntraStride on every prepared instance:
+	// dynamic instructions between intra-CTA warp snapshots (0 auto-tunes,
+	// negative disables the intra-CTA layer).
+	IntraStride int
 	// Stats, when non-nil, accumulates campaign execution stats across
 	// every injection campaign the experiment runs.
 	Stats *fault.StatsSink
@@ -163,15 +167,16 @@ func ByID(id string) (Experiment, bool) {
 // prepared-target cache: an experiment sweep re-building the same
 // kernel+scale (each table and figure builds its own instances) performs
 // one golden run per distinct configuration instead of one per instance.
-func buildPrepared(name string, scale kernels.Scale) (*kernels.Instance, error) {
+func buildPrepared(name string, cfg Config) (*kernels.Instance, error) {
 	spec, ok := kernels.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown kernel %q", name)
 	}
-	inst, err := spec.Build(scale)
+	inst, err := spec.Build(cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
+	inst.Target.IntraStride = cfg.IntraStride
 	inst.Target.Cache = fault.DefaultPreparedCache()
 	if err := inst.Target.Prepare(); err != nil {
 		return nil, err

@@ -265,7 +265,7 @@ func TestVarianceExtension(t *testing.T) {
 }
 
 func TestUnknownKernelFails(t *testing.T) {
-	if _, err := buildPrepared("No Such K9", kernels.ScaleSmall); err == nil {
+	if _, err := buildPrepared("No Such K9", Config{Scale: kernels.ScaleSmall}); err == nil {
 		t.Fatal("unknown kernel accepted")
 	}
 }

@@ -22,7 +22,7 @@ func RunModels(cfg Config) error {
 	w := cfg.out()
 	const runs = 600
 	for _, name := range cfg.selectNames([]string{"2DCONV K1", "MVT K1"}) {
-		inst, err := buildPrepared(name, cfg.Scale)
+		inst, err := buildPrepared(name, cfg)
 		if err != nil {
 			return err
 		}
@@ -81,7 +81,7 @@ func RunAblation(cfg Config) error {
 		{"one-step +signature", core.GroupingOptions{SkipCTAGrouping: true, BySignature: true}},
 	}
 	for _, name := range subjects {
-		inst, err := buildPrepared(name, cfg.Scale)
+		inst, err := buildPrepared(name, cfg)
 		if err != nil {
 			return err
 		}

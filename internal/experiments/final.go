@@ -25,7 +25,7 @@ func RunFig9(cfg Config) error {
 	var sumDelta [fault.NumClasses]float64
 	var n int
 	for _, spec := range cfg.selectKernels(kernels.TableIKernels()) {
-		inst, err := buildPrepared(spec.Meta.Name(), cfg.Scale)
+		inst, err := buildPrepared(spec.Meta.Name(), cfg)
 		if err != nil {
 			return err
 		}
@@ -84,7 +84,7 @@ func RunFig10(cfg Config) error {
 		"Kernel", "exhaustive", "thread", "inst", "loop", "bit",
 		"log10red", "baseline", "class")
 	for _, spec := range cfg.selectKernels(kernels.TableIKernels()) {
-		inst, err := buildPrepared(spec.Meta.Name(), cfg.Scale)
+		inst, err := buildPrepared(spec.Meta.Name(), cfg)
 		if err != nil {
 			return err
 		}

@@ -13,7 +13,7 @@ import (
 // representative and the other representative with the largest common block
 // (the paper's threads "a" and "b" in Fig. 5 / Table V).
 func pathfinderReps(cfg Config) (*kernels.Instance, *core.Plan, core.CommonBlock, error) {
-	inst, err := buildPrepared("PathFinder K1", cfg.Scale)
+	inst, err := buildPrepared("PathFinder K1", cfg)
 	if err != nil {
 		return nil, nil, core.CommonBlock{}, err
 	}
@@ -115,7 +115,7 @@ func RunTable6(cfg Config) error {
 	var sumPruned, sumMsk, sumSdc float64
 	var n int
 	for _, spec := range cfg.selectKernels(kernels.TableIKernels()) {
-		inst, err := buildPrepared(spec.Meta.Name(), cfg.Scale)
+		inst, err := buildPrepared(spec.Meta.Name(), cfg)
 		if err != nil {
 			return err
 		}

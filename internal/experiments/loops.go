@@ -22,7 +22,7 @@ func RunTable7(cfg Config) error {
 	}
 	var rows []row
 	for _, spec := range cfg.selectKernels(kernels.All()) {
-		inst, err := buildPrepared(spec.Meta.Name(), cfg.Scale)
+		inst, err := buildPrepared(spec.Meta.Name(), cfg)
 		if err != nil {
 			return err
 		}
@@ -78,7 +78,7 @@ func RunFig6(cfg Config) error {
 		if len(cfg.selectNames([]string{sub.name})) == 0 {
 			continue
 		}
-		inst, err := buildPrepared(sub.name, cfg.Scale)
+		inst, err := buildPrepared(sub.name, cfg)
 		if err != nil {
 			return err
 		}

@@ -17,7 +17,7 @@ func RunTable1(cfg Config) error {
 	fmt.Fprintf(w, "%-10s %-10s %-20s %-5s %9s %15s %15s\n",
 		"Suite", "App", "Kernel", "ID", "#Threads", "#FaultSites", "Paper")
 	for _, spec := range cfg.selectKernels(kernels.TableIKernels()) {
-		inst, err := buildPrepared(spec.Meta.Name(), cfg.Scale)
+		inst, err := buildPrepared(spec.Meta.Name(), cfg)
 		if err != nil {
 			return err
 		}

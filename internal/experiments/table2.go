@@ -16,7 +16,7 @@ import (
 // that the cheap campaign misestimates the profile.
 func RunTable2(cfg Config) error {
 	w := cfg.out()
-	inst, err := buildPrepared("GEMM K1", cfg.Scale)
+	inst, err := buildPrepared("GEMM K1", cfg)
 	if err != nil {
 		return err
 	}

@@ -20,7 +20,7 @@ func RunVariance(cfg Config) error {
 	w := cfg.out()
 	const seeds = 5
 	for _, name := range cfg.selectNames([]string{"PathFinder K1", "SYRK K1", "K-Means K2"}) {
-		inst, err := buildPrepared(name, cfg.Scale)
+		inst, err := buildPrepared(name, cfg)
 		if err != nil {
 			return err
 		}

@@ -75,6 +75,14 @@ type CampaignStats struct {
 	// boundary because the run's global memory converged to golden state,
 	// without executing the remaining CTAs.
 	EarlyExits int64
+	// IntraSkips counts runs resumed from an intra-CTA (warp-granular)
+	// snapshot, skipping the injected CTA's fault-free prefix in addition
+	// to whole prefix CTAs.
+	IntraSkips int64
+	// IntraCheckpointBytes approximates the memory retained by the target's
+	// intra-CTA snapshot store (register files, shared memory, page deltas);
+	// like CheckpointBytes it is a per-target figure, not per run.
+	IntraCheckpointBytes int64
 	// Checkpoints and CheckpointBytes describe the target's golden snapshot
 	// store (built once per target by Prepare, not per run): snapshot count
 	// including the pristine image, and the approximate memory the
@@ -117,6 +125,7 @@ func (s *CampaignStats) Merge(o CampaignStats) {
 	s.DevicesCreated += o.DevicesCreated
 	s.CTAsSkipped += o.CTAsSkipped
 	s.EarlyExits += o.EarlyExits
+	s.IntraSkips += o.IntraSkips
 	s.Replayed += o.Replayed
 	s.Retries += o.Retries
 	s.Quarantined += o.Quarantined
@@ -130,6 +139,9 @@ func (s *CampaignStats) Merge(o CampaignStats) {
 	if o.CheckpointBytes > s.CheckpointBytes {
 		s.CheckpointBytes = o.CheckpointBytes
 	}
+	if o.IntraCheckpointBytes > s.IntraCheckpointBytes {
+		s.IntraCheckpointBytes = o.IntraCheckpointBytes
+	}
 	s.RunsPerSec = 0
 	if s.Wall > 0 {
 		s.RunsPerSec = float64(s.Runs) / s.Wall.Seconds()
@@ -141,6 +153,10 @@ func (s CampaignStats) String() string {
 	out := fmt.Sprintf("%d runs in %v (%.0f/s), %d pages copied, %d devices, %d CTAs skipped, %d early exits, %d checkpoints (%d KiB)",
 		s.Runs, s.Wall.Round(time.Millisecond), s.RunsPerSec, s.PagesCopied,
 		s.DevicesCreated, s.CTAsSkipped, s.EarlyExits, s.Checkpoints, s.CheckpointBytes/1024)
+	if s.IntraSkips > 0 || s.IntraCheckpointBytes > 0 {
+		out += fmt.Sprintf(", %d intra-CTA skips (%d KiB warp snapshots)",
+			s.IntraSkips, s.IntraCheckpointBytes/1024)
+	}
 	if s.Replayed > 0 {
 		out += fmt.Sprintf(", %d replayed from journal", s.Replayed)
 	}
@@ -221,8 +237,11 @@ type CampaignOptions struct {
 	// DefaultMaxAttempts.
 	MaxAttempts int
 	// SiteDeadline is the wall-clock ceiling per attempt, layered over the
-	// simulator's step watchdog; 0 means DefaultSiteDeadline, negative
-	// disables it.
+	// simulator's step watchdog. 0 means DefaultSiteDeadline. Any negative
+	// value disables the wall-clock layer entirely: attempts run inline
+	// with no timer goroutine, only the step watchdog bounds a hang, and a
+	// slow-but-finite site is never quarantined for elapsed time (panics
+	// still quarantine after MaxAttempts).
 	SiteDeadline time.Duration
 	// RetryBackoff is the sleep before the first retry (doubling per
 	// attempt); 0 means DefaultRetryBackoff.
@@ -324,10 +343,23 @@ func (t *Target) runCampaign(sites []WeightedSite, opt CampaignOptions, model Mo
 			return r.run, r.close
 		},
 	}
-	if ck := t.ckpt; ck != nil {
+	if ck, wck := t.ckpt, t.wck; ck != nil || wck != nil {
 		tpc := t.Block.Count()
+		// The affinity key is the outer snapshot ordinal, refined by the
+		// intra-CTA snapshot ordinal so chunks never span an intra-CTA
+		// snapshot boundary either: within a chunk every site resumes from
+		// the same (boundary, warp) snapshot pair.
 		eng.affinityOf = func(i int) int {
-			return ck.SnapshotIndex(sites[i].Site.Thread / tpc)
+			s := sites[i].Site
+			cta := s.Thread / tpc
+			key := 0
+			if ck != nil {
+				key = ck.SnapshotIndex(cta)
+			}
+			if wck != nil {
+				key = key*1_000_003 + wck.OrdinalBefore(cta, s.Thread-cta*tpc, s.DynInst) + 1
+			}
+			return key
 		}
 	}
 	res, st, err := runEngine(sites, t.scheduleOrder(sites), opt, eng)
@@ -338,6 +370,9 @@ func (t *Target) runCampaign(sites []WeightedSite, opt CampaignOptions, model Mo
 	if ck := t.ckpt; ck != nil {
 		st.Checkpoints = ck.Count()
 		st.CheckpointBytes = ck.Bytes()
+	}
+	if wck := t.wck; wck != nil {
+		st.IntraCheckpointBytes = wck.Bytes()
 	}
 	if opt.Sink != nil {
 		opt.Sink.Add(st)
@@ -355,7 +390,7 @@ func (t *Target) runCampaign(sites []WeightedSite, opt CampaignOptions, model Mo
 // stays page-local. Aggregation and error reporting remain input-ordered.
 // Returns nil (identity) when reordering cannot help.
 func (t *Target) scheduleOrder(sites []WeightedSite) []int {
-	if t.ckpt == nil || len(sites) < 2 {
+	if (t.ckpt == nil && t.wck == nil) || len(sites) < 2 {
 		return nil
 	}
 	order := make([]int, len(sites))
@@ -469,7 +504,7 @@ func runEngine(sites []WeightedSite, order []int, opt CampaignOptions,
 		workers = len(work)
 	}
 
-	var runs, retries, nquar, ctasSkipped, earlyExits atomic.Int64
+	var runs, retries, nquar, ctasSkipped, earlyExits, intraSkips atomic.Int64
 
 	// Cancellation state: errLimit is len(work) while healthy, and drops to
 	// the lowest failing work position seen so far. firstErr tracks the
@@ -572,6 +607,9 @@ func runEngine(sites []WeightedSite, order []int, opt CampaignOptions,
 					if cost.earlyExit {
 						earlyExits.Add(1)
 					}
+					if cost.intraResumed {
+						intraSkips.Add(1)
+					}
 					outcomes[i] = o
 					done[i] = true
 					if j := opt.Journal; j != nil {
@@ -595,6 +633,7 @@ func runEngine(sites []WeightedSite, order []int, opt CampaignOptions,
 	st.Quarantined = nquar.Load()
 	st.CTAsSkipped = ctasSkipped.Load()
 	st.EarlyExits = earlyExits.Load()
+	st.IntraSkips = intraSkips.Load()
 	if errLimit.Load() < int64(len(work)) {
 		return nil, st, firstErr
 	}

@@ -145,6 +145,127 @@ func TestCheckpointMatchesFullRunExhaustive(t *testing.T) {
 	}
 }
 
+// TestIntraCheckpointMatchesFullRunExhaustive is the equivalence property of
+// the intra-CTA (warp-granular) resume layer: on the adversarial chainhang
+// kernel — cross-CTA global dependence, predicate-guarded barriers, all four
+// outcome classes reachable — a campaign resuming from mid-CTA snapshots must
+// give outcome-for-outcome identical results to full runs from the pristine
+// image, for the full cross product of intra strides 1/2/3 and CTA-boundary
+// strides 1/2, under both schedulers. Runs under -race via `make race`.
+func TestIntraCheckpointMatchesFullRunExhaustive(t *testing.T) {
+	for _, warp := range []int{0, 4} {
+		warp := warp
+		name := "serial"
+		if warp > 0 {
+			name = "warp4"
+		}
+		t.Run(name, func(t *testing.T) {
+			// Reference: the full-run engine (fresh clone, whole grid), both
+			// per-site and through the campaign engine with FullRun set.
+			ref := chainHangTarget(t)
+			ref.WarpSize = warp
+			ref.FullRun = true
+			ref.IntraStride = 2 // must be ignored under FullRun
+			if err := ref.Prepare(); err != nil {
+				t.Fatal(err)
+			}
+			if ref.WarpCheckpoints() != nil {
+				t.Fatal("FullRun target built an intra-CTA snapshot store")
+			}
+			sites := exhaustiveSites(ref)
+			want := make([]fault.Outcome, len(sites))
+			seen := map[fault.Outcome]int{}
+			for i, ws := range sites {
+				o, err := ref.RunSite(ws.Site)
+				if err != nil {
+					t.Fatalf("reference %v: %v", ws.Site, err)
+				}
+				want[i] = o
+				seen[o]++
+			}
+			for _, o := range []fault.Outcome{fault.Masked, fault.SDC, fault.Crash, fault.Hang} {
+				if seen[o] == 0 {
+					t.Fatalf("exhaustive space reaches no %v outcome: %v", o, seen)
+				}
+			}
+			fres, err := fault.Run(ref, sites, fault.CampaignOptions{Parallelism: 4, KeepPerSite: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if fres.PerSite[i] != want[i] {
+					t.Fatalf("full-run campaign: site %v gave %v, reference %v",
+						sites[i].Site, fres.PerSite[i], want[i])
+				}
+			}
+			if fres.Stats.IntraSkips != 0 || fres.Stats.IntraCheckpointBytes != 0 {
+				t.Fatalf("full-run campaign reports intra-CTA work: %+v", fres.Stats)
+			}
+
+			for _, ctaStride := range []int{1, 2} {
+				for _, intra := range []int{1, 2, 3} {
+					tg := chainHangTarget(t)
+					tg.WarpSize = warp
+					tg.CheckpointStride = ctaStride
+					tg.IntraStride = intra
+					if err := tg.Prepare(); err != nil {
+						t.Fatal(err)
+					}
+					wck := tg.WarpCheckpoints()
+					if wck == nil || wck.Count() == 0 {
+						t.Fatalf("cta %d intra %d: no intra-CTA snapshots", ctaStride, intra)
+					}
+					if wck.Stride() != intra {
+						t.Fatalf("store reports stride %d, want %d", wck.Stride(), intra)
+					}
+					res, err := fault.Run(tg, sites, fault.CampaignOptions{Parallelism: 4, KeepPerSite: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range want {
+						if res.PerSite[i] != want[i] {
+							t.Fatalf("cta %d intra %d: site %v gave %v, full run gave %v",
+								ctaStride, intra, sites[i].Site, res.PerSite[i], want[i])
+						}
+					}
+					if res.Stats.IntraSkips == 0 {
+						t.Fatalf("cta %d intra %d: no site resumed from an intra-CTA snapshot", ctaStride, intra)
+					}
+					if res.Stats.IntraCheckpointBytes != wck.Bytes() || wck.Bytes() <= 0 {
+						t.Fatalf("cta %d intra %d: stats report %d snapshot bytes, store holds %d",
+							ctaStride, intra, res.Stats.IntraCheckpointBytes, wck.Bytes())
+					}
+				}
+			}
+
+			// A negative IntraStride disables the layer; outcomes still match.
+			tg := chainHangTarget(t)
+			tg.WarpSize = warp
+			tg.CheckpointStride = 1
+			tg.IntraStride = -1
+			if err := tg.Prepare(); err != nil {
+				t.Fatal(err)
+			}
+			if tg.WarpCheckpoints() != nil {
+				t.Fatal("IntraStride < 0 still built a snapshot store")
+			}
+			res, err := fault.Run(tg, sites, fault.CampaignOptions{Parallelism: 4, KeepPerSite: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if res.PerSite[i] != want[i] {
+					t.Fatalf("intra disabled: site %v gave %v, full run gave %v",
+						sites[i].Site, res.PerSite[i], want[i])
+				}
+			}
+			if res.Stats.IntraSkips != 0 {
+				t.Fatalf("intra disabled but %d sites intra-resumed", res.Stats.IntraSkips)
+			}
+		})
+	}
+}
+
 // TestCheckpointGaussianEquivalence covers the paper's cross-CTA-dependency
 // kernels: Gaussian Fan1 (2 CTAs) and Fan2 (4 CTAs) at small geometry. For a
 // deterministic site sample, the checkpointed campaign, the FullRun-option

@@ -143,6 +143,12 @@ type siteResult struct {
 // stray goroutine finishes (or trips the step watchdog) on its own and its
 // result is discarded via the buffered channel. Its pooled device returns
 // to the pool late, never concurrently reused.
+//
+// A negative deadline disables the wall-clock layer entirely: the attempt
+// runs inline on the worker goroutine with no timer, it can never be
+// abandoned (the simulator's step watchdog remains the only hang bound),
+// and a slow-but-finite site always reports its real outcome instead of
+// being quarantined.
 func (g guard) once(runSite func(Site) (Outcome, runCost, error), s Site) (Outcome, runCost, error) {
 	if g.deadline < 0 {
 		return protect(runSite, s)
@@ -189,16 +195,17 @@ func (g guard) run(runSite func(Site) (Outcome, runCost, error), s Site) (o Outc
 func (t *Target) JournalFingerprint(model Model, sites int, scale string, seed int64, shard Shard) journal.Fingerprint {
 	sh := shard.normalize()
 	return journal.Fingerprint{
-		Kernel:     t.Name,
-		Scale:      scale,
-		Seed:       seed,
-		Model:      model.String(),
-		Warp:       t.WarpSize,
-		Stride:     t.CheckpointStride,
-		FullRun:    t.FullRun,
-		Sites:      sites,
-		ShardIndex: sh.Index,
-		ShardCount: sh.Count,
+		Kernel:      t.Name,
+		Scale:       scale,
+		Seed:        seed,
+		Model:       model.String(),
+		Warp:        t.WarpSize,
+		Stride:      t.CheckpointStride,
+		IntraStride: t.IntraStride,
+		FullRun:     t.FullRun,
+		Sites:       sites,
+		ShardIndex:  sh.Index,
+		ShardCount:  sh.Count,
 	}
 }
 
@@ -214,9 +221,11 @@ func (t *Target) validateJournal(j *journal.Journal, model Model, nsites int, sh
 		return fmt.Errorf("fault: journal %s covers %d sites, campaign has %d", j.Path(), fp.Sites, nsites)
 	case fp.Model != model.String():
 		return fmt.Errorf("fault: journal %s was recorded under model %s, campaign uses %s", j.Path(), fp.Model, model)
-	case fp.Warp != t.WarpSize || fp.Stride != t.CheckpointStride || fp.FullRun != t.FullRun:
-		return fmt.Errorf("fault: journal %s was recorded under a different engine configuration (warp=%d stride=%d fullrun=%v; campaign warp=%d stride=%d fullrun=%v)",
-			j.Path(), fp.Warp, fp.Stride, fp.FullRun, t.WarpSize, t.CheckpointStride, t.FullRun)
+	case fp.Warp != t.WarpSize || fp.Stride != t.CheckpointStride ||
+		fp.IntraStride != t.IntraStride || fp.FullRun != t.FullRun:
+		return fmt.Errorf("fault: journal %s was recorded under a different engine configuration (warp=%d stride=%d intra=%d fullrun=%v; campaign warp=%d stride=%d intra=%d fullrun=%v)",
+			j.Path(), fp.Warp, fp.Stride, fp.IntraStride, fp.FullRun,
+			t.WarpSize, t.CheckpointStride, t.IntraStride, t.FullRun)
 	case fp.ShardIndex != sh.Index || fp.ShardCount != sh.Count:
 		return fmt.Errorf("fault: journal %s belongs to shard %d/%d, campaign runs shard %d/%d",
 			j.Path(), fp.ShardIndex, fp.ShardCount, sh.Index, sh.Count)
@@ -227,16 +236,17 @@ func (t *Target) validateJournal(j *journal.Journal, model Model, nsites int, sh
 // journalRecord assembles the write-ahead record of one completed site.
 func journalRecord(i int, ws WeightedSite, o Outcome, cost runCost, attempts int, quarantine string) journal.Record {
 	return journal.Record{
-		Index:       i,
-		Thread:      ws.Site.Thread,
-		DynInst:     ws.Site.DynInst,
-		Bit:         ws.Site.Bit,
-		Outcome:     uint8(o),
-		Weight:      ws.Weight,
-		CTAsSkipped: cost.ctasSkipped,
-		EarlyExit:   cost.earlyExit,
-		Attempts:    attempts,
-		Err:         quarantine,
+		Index:        i,
+		Thread:       ws.Site.Thread,
+		DynInst:      ws.Site.DynInst,
+		Bit:          ws.Site.Bit,
+		Outcome:      uint8(o),
+		Weight:       ws.Weight,
+		CTAsSkipped:  cost.ctasSkipped,
+		EarlyExit:    cost.earlyExit,
+		IntraResumed: cost.intraResumed,
+		Attempts:     attempts,
+		Err:          quarantine,
 	}
 }
 

@@ -108,6 +108,46 @@ func TestRunWithSiteDeadline(t *testing.T) {
 	}
 }
 
+// TestNegativeDeadlineNeverQuarantines: any negative SiteDeadline disables
+// the wall-clock layer — a slow-but-finite site runs to completion inline
+// (no timer goroutine can abandon it) and reports its real outcome instead
+// of being quarantined, no matter how long it takes relative to any positive
+// deadline. Panic isolation stays active.
+func TestNegativeDeadlineNeverQuarantines(t *testing.T) {
+	// The guard must keep the negative value rather than substituting the
+	// default (only 0 means DefaultSiteDeadline).
+	if g := newGuard(CampaignOptions{SiteDeadline: -1}); g.deadline >= 0 {
+		t.Fatalf("negative deadline normalized away: %v", g.deadline)
+	}
+
+	const n = 12
+	opt := CampaignOptions{
+		Parallelism: 2, MaxAttempts: 1, SiteDeadline: -time.Nanosecond, KeepPerSite: true,
+	}
+	res, st, err := runWith(fakeSites(n), nil, opt,
+		func(s Site) (Outcome, runCost, error) {
+			if s.Thread == 4 {
+				// Slow but finite: far beyond |SiteDeadline|, and beyond the
+				// 5ms deadline TestRunWithSiteDeadline proves would quarantine.
+				time.Sleep(30 * time.Millisecond)
+				return SDC, runCost{}, nil
+			}
+			return Masked, runCost{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerSite[4] != SDC {
+		t.Fatalf("slow site outcome = %v, want its real SDC", res.PerSite[4])
+	}
+	if st.Quarantined != 0 || len(res.Quarantined) != 0 || st.Retries != 0 {
+		t.Fatalf("negative deadline quarantined or retried: %+v, %+v", st, res.Quarantined)
+	}
+	if st.Runs != n {
+		t.Fatalf("runs = %d, want %d", st.Runs, n)
+	}
+}
+
 // TestRunWithFailFastNoRetry: FailFast restores the old contract — a site
 // error aborts the campaign on its first occurrence, with no retries and no
 // quarantine.

@@ -228,6 +228,22 @@ func TestCampaignJournalRejectsStale(t *testing.T) {
 		t.Fatal("journal accepted for a campaign with a different site count")
 	}
 
+	// A journal recorded under a different intra-CTA stride measured its
+	// outcomes in the same experiment (the resume layer is bit-identical),
+	// but the engine still refuses it: mixed-stride resumption would make
+	// performance counters and provenance unattributable.
+	intraPath := filepath.Join(t.TempDir(), "intra.journal")
+	ifp := fingerprintFor(tg, len(sites), fault.Shard{})
+	ifp.IntraStride = 7
+	ji, err := journal.Open(intraPath, ifp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ji.Close()
+	if _, err := fault.Run(tg, sites, fault.CampaignOptions{Journal: ji}); err == nil {
+		t.Fatal("journal with a different intra-stride accepted")
+	}
+
 	// A shard journal cannot drive an unsharded campaign.
 	shardPath := filepath.Join(t.TempDir(), "shard.journal")
 	js, err := journal.Open(shardPath, fingerprintFor(tg, len(sites), fault.Shard{Index: 1, Count: 2}))

@@ -39,6 +39,7 @@ type prepareKey struct {
 	warpSize       int
 	fullRun        bool
 	stride         int
+	intraStride    int
 	watchdogFactor int64
 	cfgHash        uint64
 }
@@ -68,6 +69,7 @@ func (t *Target) prepareKey() prepareKey {
 		warpSize:       t.WarpSize,
 		fullRun:        t.FullRun,
 		stride:         t.CheckpointStride,
+		intraStride:    t.IntraStride,
 		watchdogFactor: t.WatchdogFactor,
 		cfgHash:        h,
 	}
@@ -81,11 +83,12 @@ type preparedState struct {
 	watchdog int64
 	profile  *trace.Profile
 	ckpt     *gpusim.Checkpoints
+	wck      *gpusim.WarpCheckpoints
 }
 
 // approxBytes estimates the memory the entry pins beyond the pristine
-// device: golden output, per-thread dynamic PC streams, and checkpoint
-// snapshot pages.
+// device: golden output, per-thread dynamic PC streams, checkpoint snapshot
+// pages, and intra-CTA warp snapshots.
 func (s *preparedState) approxBytes() int64 {
 	n := int64(len(s.golden))
 	if s.profile != nil {
@@ -96,6 +99,9 @@ func (s *preparedState) approxBytes() int64 {
 	if s.ckpt != nil {
 		n += s.ckpt.Bytes()
 	}
+	if s.wck != nil {
+		n += s.wck.Bytes()
+	}
 	return n
 }
 
@@ -105,6 +111,7 @@ func (t *Target) install(s *preparedState) {
 	t.watchdog = s.watchdog
 	t.profile = s.profile
 	t.ckpt = s.ckpt
+	t.wck = s.wck
 }
 
 // snapshotPrepared captures the target's prepared state for sharing.
@@ -114,6 +121,7 @@ func (t *Target) snapshotPrepared() *preparedState {
 		watchdog: t.watchdog,
 		profile:  t.profile,
 		ckpt:     t.ckpt,
+		wck:      t.wck,
 	}
 }
 

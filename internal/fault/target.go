@@ -52,6 +52,14 @@ type Target struct {
 	// CheckpointStride is the CTA-boundary distance between golden
 	// snapshots; 0 picks gpusim.AutoCheckpointStride from the grid size.
 	CheckpointStride int
+	// IntraStride controls intra-CTA (warp-granular) checkpoints, which let
+	// an injection resume mid-CTA instead of replaying the injected CTA's
+	// fault-free prefix: 0 auto-tunes the capture stride to each CTA's
+	// dynamic instruction count (see gpusim.DefaultIntraSnapshots), a
+	// positive value captures at exactly that many retired instructions,
+	// and a negative value disables intra-CTA checkpointing. Ignored when
+	// FullRun is set.
+	IntraStride int
 
 	// Cache, when non-nil, routes Prepare through a shared prepared-target
 	// cache: the first target with a given key (see prepareKey) performs the
@@ -66,6 +74,7 @@ type Target struct {
 	watchdog int64
 	profile  *trace.Profile
 	ckpt     *gpusim.Checkpoints
+	wck      *gpusim.WarpCheckpoints
 
 	// Cache provenance of this target's Prepare, harvested once (by the
 	// first campaign run on it) into CampaignStats; see takePrepStats.
@@ -121,10 +130,19 @@ func (t *Target) prepareCold() error {
 	tr := gpusim.NewProfileTrace(t.Threads())
 	dev := t.Init.Clone()
 	launch := t.launch(nil, tr, 0)
+	numCTAs := t.Grid.Count()
 	var rec *gpusim.CheckpointRecorder
-	if numCTAs := t.Grid.Count(); !t.FullRun && numCTAs > 1 {
+	if !t.FullRun && numCTAs > 1 {
 		rec = gpusim.NewCheckpointRecorder(t.Init, dev, numCTAs, t.CheckpointStride)
 		launch.AfterCTA = rec.AfterCTA
+	}
+	var wrec *gpusim.WarpCheckpointRecorder
+	if !t.FullRun && t.IntraStride >= 0 {
+		wrec = gpusim.NewWarpCheckpointRecorder(dev, numCTAs, t.IntraStride)
+		if rec != nil {
+			rec.AttachIntra(wrec)
+		}
+		launch.IntraRec = wrec
 	}
 	res, err := gpusim.Execute(dev, launch)
 	if err != nil {
@@ -135,6 +153,11 @@ func (t *Target) prepareCold() error {
 	}
 	if rec != nil {
 		t.ckpt = rec.Finish()
+	}
+	if wrec != nil {
+		if wck := wrec.Finish(); wck.Count() > 0 {
+			t.wck = wck
+		}
 	}
 	t.golden = t.extractOutput(dev)
 
@@ -287,10 +310,16 @@ func (t *Target) RunSiteOn(dev *gpusim.Device, site Site) (Outcome, error) {
 // when fast-forwarding is disabled (FullRun) or the grid has a single CTA.
 func (t *Target) Checkpoints() *gpusim.Checkpoints { return t.ckpt }
 
+// WarpCheckpoints exposes the intra-CTA snapshot store built by Prepare —
+// nil when disabled (FullRun or a negative IntraStride) or when the golden
+// run retired too few instructions per CTA for any capture.
+func (t *Target) WarpCheckpoints() *gpusim.WarpCheckpoints { return t.wck }
+
 // runCost carries per-run fast-forward metrics out of injectOn.
 type runCost struct {
-	ctasSkipped int64
-	earlyExit   bool
+	ctasSkipped  int64
+	earlyExit    bool
+	intraResumed bool
 }
 
 // injectOn is the campaign hot path: one unchecked injection experiment on a
@@ -314,8 +343,8 @@ func (t *Target) injectOn(dev *gpusim.Device, site Site, model Model) (Outcome, 
 		Kind: model.kind(),
 	}
 	launch := t.launch(inj, nil, t.watchdog)
-	ck := t.ckpt
-	if ck == nil {
+	ck, wck := t.ckpt, t.wck
+	if ck == nil && wck == nil {
 		dev.ResetFrom(t.Init)
 		res, err := gpusim.Execute(dev, launch)
 		if err != nil {
@@ -326,11 +355,29 @@ func (t *Target) injectOn(dev *gpusim.Device, site Site, model Model) (Outcome, 
 
 	tpc := t.Block.Count()
 	cta := site.Thread / tpc
-	snap, first := ck.SnapshotFor(cta)
+	snap, first := t.Init, 0
+	if ck != nil {
+		snap, first = ck.SnapshotFor(cta)
+	}
 	dev.ResetFrom(snap)
+	// Inner resume: the latest intra-CTA snapshot at which the injected
+	// thread had not yet reached the fault site. Restoring its page delta on
+	// top of the floor boundary snapshot reproduces the golden state at the
+	// capture point exactly (CTAs share only global memory), so both the
+	// inter-snapshot golden CTAs and the injected CTA's fault-free prefix
+	// are skipped. The delta is written through the tracked store path, so
+	// the convergence check below still hashes every divergent page.
+	if wck != nil {
+		if ws := wck.SnapshotBefore(cta, site.Thread-cta*tpc, site.DynInst); ws != nil {
+			ws.RestorePages(dev)
+			launch.Resume = ws
+			first = cta
+			cost.intraResumed = true
+		}
+	}
 	launch.FirstCTA = first
 	converged := false
-	if cta+1 < ck.NumCTAs() {
+	if ck != nil && cta+1 < ck.NumCTAs() {
 		launch.AfterCTA = func(idx int) bool {
 			if idx != cta {
 				return false

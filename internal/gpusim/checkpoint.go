@@ -133,6 +133,18 @@ type CheckpointRecorder struct {
 	buf []int32
 	// cur is the cumulative page->hash map at the last seen boundary.
 	cur map[int32]uint64
+	// intra, when non-nil, is the coupled intra-CTA recorder: it learns each
+	// harvested CTA write set (its page deltas are relative to the last
+	// retained boundary snapshot) and is told when a new snapshot is taken.
+	intra *WarpCheckpointRecorder
+}
+
+// AttachIntra couples an intra-CTA recorder observing the same golden run:
+// the boundary recorder forwards harvested write sets so warp snapshots can
+// record page deltas relative to the retained boundary snapshots. Call
+// before the golden Execute.
+func (r *CheckpointRecorder) AttachIntra(w *WarpCheckpointRecorder) {
+	r.intra = w
 }
 
 // NewCheckpointRecorder prepares recording for a numCTAs-CTA golden run of
@@ -161,6 +173,9 @@ func NewCheckpointRecorder(pristine, dev *Device, numCTAs, stride int) *Checkpoi
 func (r *CheckpointRecorder) AfterCTA(cta int) bool {
 	b := cta + 1
 	r.buf = r.dev.TakeDirtyPages(r.buf)
+	if r.intra != nil {
+		r.intra.noteBoundaryWrites(r.buf)
+	}
 	if len(r.buf) > 0 {
 		next := make(map[int32]uint64, len(r.cur)+len(r.buf))
 		for p, h := range r.cur {
@@ -177,6 +192,11 @@ func (r *CheckpointRecorder) AfterCTA(cta int) bool {
 		// snapshot pins beyond it.
 		r.ck.bytes += r.dev.TakePagesCopied() * PageSize
 		r.ck.snaps = append(r.ck.snaps, r.dev.Clone())
+		if r.intra != nil {
+			// Deltas of snapshots captured after this point are relative to
+			// the boundary snapshot just retained.
+			r.intra.resetBase()
+		}
 	}
 	return false
 }

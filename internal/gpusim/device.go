@@ -109,6 +109,17 @@ type Launch struct {
 	// progress so far. Checkpoint capture and golden-state convergence
 	// checks hook here.
 	AfterCTA func(cta int) bool
+	// IntraRec, when non-nil, records intra-CTA (warp-granular) checkpoints
+	// of this run; set it only on the golden traced run. See
+	// WarpCheckpointRecorder.
+	IntraRec *WarpCheckpointRecorder
+	// Resume, when non-nil, starts the CTA at FirstCTA from this intra-CTA
+	// snapshot instead of from a fresh thread/shared-memory state. The
+	// snapshot must have been captured in that CTA with the same block
+	// geometry and scheduling mode, and the device must hold the floor
+	// CTA-boundary state with the snapshot's page delta already restored
+	// (see WarpSnapshot.RestorePages).
+	Resume *WarpSnapshot
 }
 
 // InjectKind selects the fault model applied at the injection point.

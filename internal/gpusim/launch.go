@@ -44,12 +44,24 @@ func Execute(dev *Device, launch *Launch) (*Result, error) {
 		block:       launch.Block,
 		grid:        launch.Grid,
 		watchdog:    watchdog,
+		intra:       launch.IntraRec,
 		addrFlipBit: -1,
 	}
 
 	nCTA := launch.Grid.Count()
 	if launch.FirstCTA < 0 || launch.FirstCTA >= nCTA {
 		return nil, fmt.Errorf("gpusim: FirstCTA %d outside grid of %d CTAs", launch.FirstCTA, nCTA)
+	}
+	if ws := launch.Resume; ws != nil {
+		if ws.cta != launch.FirstCTA {
+			return nil, fmt.Errorf("gpusim: Resume snapshot for CTA %d but FirstCTA is %d", ws.cta, launch.FirstCTA)
+		}
+		if len(ws.threads) != launch.Block.Count() {
+			return nil, fmt.Errorf("gpusim: Resume snapshot holds %d threads, block has %d", len(ws.threads), launch.Block.Count())
+		}
+		if len(ws.shared) != sharedBytes {
+			return nil, fmt.Errorf("gpusim: Resume snapshot shared size %d, launch wants %d", len(ws.shared), sharedBytes)
+		}
 	}
 
 	nThreads := nCTA * launch.Block.Count()
@@ -63,26 +75,36 @@ func Execute(dev *Device, launch *Launch) (*Result, error) {
 	// linear position in that order, decoded back into grid coordinates so
 	// a launch can resume at an arbitrary CTA (Launch.FirstCTA).
 	for ctaIndex := launch.FirstCTA; ctaIndex < nCTA; ctaIndex++ {
-		cx := ctaIndex % gx
-		cy := (ctaIndex / gx) % gy
-		cz := ctaIndex / (gx * gy)
-		cta := &ctaState{shared: make([]byte, sharedBytes)}
-		for i, p := range launch.Params {
-			putWord(cta.shared, ParamBase+4*i, p)
-		}
-		base := ctaIndex * threadsPerCTA
-		tLinear := 0
-		for tz := 0; tz < bz; tz++ {
-			for ty := 0; ty < by; ty++ {
-				for tx := 0; tx < bx; tx++ {
-					cta.threads = append(cta.threads, &threadState{
-						flat:  base + tLinear,
-						tid:   Dim3{tx, ty, tz},
-						ctaid: Dim3{cx, cy, cz},
-					})
-					tLinear++
+		var cta *ctaState
+		if ctaIndex == launch.FirstCTA && launch.Resume != nil {
+			// Mid-CTA resume: rebuild thread and shared-memory state from
+			// the intra-CTA snapshot (params are part of the shared copy).
+			cta = launch.Resume.materialize()
+		} else {
+			cx := ctaIndex % gx
+			cy := (ctaIndex / gx) % gy
+			cz := ctaIndex / (gx * gy)
+			cta = &ctaState{shared: make([]byte, sharedBytes)}
+			for i, p := range launch.Params {
+				putWord(cta.shared, ParamBase+4*i, p)
+			}
+			base := ctaIndex * threadsPerCTA
+			tLinear := 0
+			for tz := 0; tz < bz; tz++ {
+				for ty := 0; ty < by; ty++ {
+					for tx := 0; tx < bx; tx++ {
+						cta.threads = append(cta.threads, &threadState{
+							flat:  base + tLinear,
+							tid:   Dim3{tx, ty, tz},
+							ctaid: Dim3{cx, cy, cz},
+						})
+						tLinear++
+					}
 				}
 			}
+		}
+		if e.intra != nil {
+			e.intra.beginCTA(ctaIndex, cta)
 		}
 		var trap *Trap
 		if launch.WarpSize > 0 {
@@ -175,6 +197,13 @@ func (e *exec) runCTA(cta *ctaState) *Trap {
 				if trap != nil {
 					return trap
 				}
+				if e.intra != nil {
+					// Any post-step point is resume-safe in serial mode:
+					// threads earlier in schedule order are parked or done,
+					// so a resumed round re-reaches this thread first.
+					e.intra.step()
+					e.intra.flush()
+				}
 				if blocked {
 					break
 				}
@@ -227,7 +256,16 @@ func (e *exec) runCTAWarped(cta *ctaState, warpSize int) *Trap {
 					if _, trap := e.step(th, cta); trap != nil {
 						return trap
 					}
+					if e.intra != nil {
+						e.intra.step()
+					}
 					progress = true
+				}
+				if e.intra != nil {
+					// Capture only at min-PC sweep boundaries: the drive
+					// loop recomputes the minimum PC from scratch here, so
+					// a resumed warp replays exactly this continuation.
+					e.intra.flush()
 				}
 			}
 		}

@@ -39,6 +39,9 @@ type exec struct {
 	block    Dim3
 	grid     Dim3
 	watchdog int64
+	// intra, when non-nil, records intra-CTA checkpoints of a golden run;
+	// nil on every injection run.
+	intra *WarpCheckpointRecorder
 	// addrFlipBit, when >= 0, corrupts the next effective-address
 	// computation (InjectMemAddr); consumed by address().
 	addrFlipBit int

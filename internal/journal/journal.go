@@ -60,6 +60,11 @@ type Fingerprint struct {
 	Warp int `json:"warp,omitempty"`
 	// Stride is the checkpoint stride (0 = auto).
 	Stride int `json:"stride,omitempty"`
+	// IntraStride is the intra-CTA checkpoint stride (0 = auto, negative =
+	// disabled). Journals written before the field existed decode to 0,
+	// which matches the auto default — sound either way, since intra-CTA
+	// resume is bit-identical to the full run by construction.
+	IntraStride int `json:"intra_stride,omitempty"`
 	// FullRun records whether the fast-forward engine was disabled.
 	FullRun bool `json:"full_run,omitempty"`
 	// Sites is the total campaign size across all shards.
@@ -72,8 +77,8 @@ type Fingerprint struct {
 
 // String renders the fingerprint for error messages.
 func (f Fingerprint) String() string {
-	return fmt.Sprintf("%s/%s seed=%d model=%s warp=%d stride=%d fullrun=%v sites=%d shard=%d/%d",
-		f.Kernel, f.Scale, f.Seed, f.Model, f.Warp, f.Stride, f.FullRun,
+	return fmt.Sprintf("%s/%s seed=%d model=%s warp=%d stride=%d intra=%d fullrun=%v sites=%d shard=%d/%d",
+		f.Kernel, f.Scale, f.Seed, f.Model, f.Warp, f.Stride, f.IntraStride, f.FullRun,
 		f.Sites, f.ShardIndex, f.ShardCount)
 }
 
@@ -101,6 +106,7 @@ func (f Fingerprint) Diff(o Fingerprint) string {
 	add("model", f.Model, o.Model)
 	add("warp", f.Warp, o.Warp)
 	add("stride", f.Stride, o.Stride)
+	add("intra_stride", f.IntraStride, o.IntraStride)
 	add("full_run", f.FullRun, o.FullRun)
 	add("sites", f.Sites, o.Sites)
 	add("shard_index", f.ShardIndex, o.ShardIndex)
@@ -123,9 +129,12 @@ type Record struct {
 	// Weight is the site's population weight, carried so a merge can
 	// rebuild the weighted distribution without re-deriving the site list.
 	Weight float64 `json:"w"`
-	// CTAsSkipped and EarlyExit are the run's fast-forward cost stats.
-	CTAsSkipped int64 `json:"cs,omitempty"`
-	EarlyExit   bool  `json:"ee,omitempty"`
+	// CTAsSkipped, EarlyExit and IntraResumed are the run's fast-forward
+	// cost stats (IntraResumed marks a run resumed from an intra-CTA
+	// snapshot, skipping the injected CTA's fault-free prefix).
+	CTAsSkipped  int64 `json:"cs,omitempty"`
+	EarlyExit    bool  `json:"ee,omitempty"`
+	IntraResumed bool  `json:"ir,omitempty"`
 	// Attempts is how many executions the outcome took (>1 after retries).
 	Attempts int `json:"a,omitempty"`
 	// Err is the recorded engine error of a quarantined site.

@@ -152,36 +152,42 @@ type Campaign struct {
 	DevicesCreated  int     `json:"devices_created"`
 	CTAsSkipped     int64   `json:"ctas_skipped,omitempty"`
 	EarlyExits      int64   `json:"early_exits,omitempty"`
+	IntraSkips      int64   `json:"intra_skips,omitempty"`
 	Checkpoints     int     `json:"checkpoints,omitempty"`
 	CheckpointBytes int64   `json:"checkpoint_bytes,omitempty"`
-	Replayed        int64   `json:"replayed,omitempty"`
-	Retries         int64   `json:"retries,omitempty"`
-	Quarantined     int64   `json:"quarantined,omitempty"`
-	CacheHits       int64   `json:"cache_hits,omitempty"`
-	CacheMisses     int64   `json:"cache_misses,omitempty"`
-	PreparedShared  int64   `json:"prepared_shared,omitempty"`
-	AffinityResets  int64   `json:"affinity_resets,omitempty"`
+	// IntraCheckpointBytes is the memory retained by the intra-CTA
+	// (warp-granular) snapshot store.
+	IntraCheckpointBytes int64 `json:"intra_checkpoint_bytes,omitempty"`
+	Replayed             int64 `json:"replayed,omitempty"`
+	Retries              int64 `json:"retries,omitempty"`
+	Quarantined          int64 `json:"quarantined,omitempty"`
+	CacheHits            int64 `json:"cache_hits,omitempty"`
+	CacheMisses          int64 `json:"cache_misses,omitempty"`
+	PreparedShared       int64 `json:"prepared_shared,omitempty"`
+	AffinityResets       int64 `json:"affinity_resets,omitempty"`
 }
 
 // NewCampaign converts fault.CampaignStats.
 func NewCampaign(s fault.CampaignStats) Campaign {
 	return Campaign{
-		Runs:            s.Runs,
-		WallMS:          float64(s.Wall.Microseconds()) / 1000,
-		RunsPerSec:      s.RunsPerSec,
-		PagesCopied:     s.PagesCopied,
-		DevicesCreated:  s.DevicesCreated,
-		CTAsSkipped:     s.CTAsSkipped,
-		EarlyExits:      s.EarlyExits,
-		Checkpoints:     s.Checkpoints,
-		CheckpointBytes: s.CheckpointBytes,
-		Replayed:        s.Replayed,
-		Retries:         s.Retries,
-		Quarantined:     s.Quarantined,
-		CacheHits:       s.CacheHits,
-		CacheMisses:     s.CacheMisses,
-		PreparedShared:  s.PreparedShared,
-		AffinityResets:  s.AffinityResets,
+		Runs:                 s.Runs,
+		WallMS:               float64(s.Wall.Microseconds()) / 1000,
+		RunsPerSec:           s.RunsPerSec,
+		PagesCopied:          s.PagesCopied,
+		DevicesCreated:       s.DevicesCreated,
+		CTAsSkipped:          s.CTAsSkipped,
+		EarlyExits:           s.EarlyExits,
+		IntraSkips:           s.IntraSkips,
+		Checkpoints:          s.Checkpoints,
+		CheckpointBytes:      s.CheckpointBytes,
+		IntraCheckpointBytes: s.IntraCheckpointBytes,
+		Replayed:             s.Replayed,
+		Retries:              s.Retries,
+		Quarantined:          s.Quarantined,
+		CacheHits:            s.CacheHits,
+		CacheMisses:          s.CacheMisses,
+		PreparedShared:       s.PreparedShared,
+		AffinityResets:       s.AffinityResets,
 	}
 }
 
