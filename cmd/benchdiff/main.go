@@ -13,6 +13,13 @@
 // never fail the gate. With -allow-missing, a nonexistent OLD file is not an
 // error either: the diff is skipped with a note and the gate passes, so
 // `make ci` works on fresh clones that lack the previous PR's recording.
+//
+// -min-time-ms sets a noise floor: a benchmark whose baseline AND current
+// ns/op are both below the floor is reported (as "noisy") but cannot fail
+// the gate. Sub-millisecond benches swing tens of percent with scheduler
+// and GC jitter at smoke-mode sample counts — interleaved reruns show the
+// medians unchanged — so gating them produces flaky CI, not protection.
+// Anything slow enough to measure reliably stays gated.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 func main() {
 	maxRegress := flag.Float64("max-regress", 25, "allowed slowdown in percent before failing")
 	allowMissing := flag.Bool("allow-missing", false, "pass (with a note) when the OLD baseline file does not exist")
+	minTimeMS := flag.Float64("min-time-ms", 0, "noise floor: benchmarks under this many ms in both files never fail the gate")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] [-allow-missing] OLD.json NEW.json")
@@ -59,7 +67,10 @@ func main() {
 			continue
 		}
 		delta := 100 * (cur - prev) / prev
-		if delta > *maxRegress {
+		if delta > *maxRegress && prev < *minTimeMS*1e6 && cur < *minTimeMS*1e6 {
+			fmt.Printf("noisy    %-36s %s -> %s (%+.1f%%, under %.0fms floor)\n",
+				name, ms(prev), ms(cur), delta, *minTimeMS)
+		} else if delta > *maxRegress {
 			regressions++
 			fmt.Printf("REGRESS  %-36s %s -> %s (%+.1f%%, limit %+.1f%%)\n",
 				name, ms(prev), ms(cur), delta, *maxRegress)

@@ -20,7 +20,6 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/fault"
 	"repro/internal/journal"
 	"repro/internal/report"
 )
@@ -37,52 +36,18 @@ func main() {
 	fp, recs, err := journal.Merge(flag.Args(), *allowPartial)
 	fatal(err)
 
-	// Records arrive sorted by site index; aggregating in that order
-	// reproduces the engine's input-order float summation exactly.
-	var dist fault.Dist
-	var stats fault.CampaignStats
-	quarantined := 0
-	for _, r := range recs {
-		o := fault.Outcome(r.Outcome)
-		if !o.Valid() {
-			fatal(fmt.Errorf("fsmerge: record for site %d holds unknown outcome %d", r.Index, r.Outcome))
-		}
-		dist.Add(o, r.Weight)
-		stats.Runs += int64(r.Attempts)
-		stats.CTAsSkipped += r.CTAsSkipped
-		if r.EarlyExit {
-			stats.EarlyExits++
-		}
-		if r.IntraResumed {
-			stats.IntraSkips++
-		}
-		if r.Attempts > 1 {
-			stats.Retries += int64(r.Attempts - 1)
-		}
-		if r.Err != "" {
-			stats.Quarantined++
-			quarantined++
-		}
-	}
-
-	doc := report.Merged{
-		Kernel:      fp.Kernel,
-		Scale:       fp.Scale,
-		Seed:        fp.Seed,
-		Model:       fp.Model,
-		Shards:      fp.ShardCount,
-		Sites:       fp.Sites,
-		Completed:   len(recs),
-		Quarantined: quarantined,
-		Profile:     report.NewProfile(dist),
-		Campaign:    report.NewCampaign(stats),
-	}
+	// Records arrive sorted by site index; NewMerged aggregates in that
+	// order, reproducing the engine's input-order float summation exactly.
+	doc, err := report.NewMerged(fp, recs)
+	fatal(err)
+	dist, err := report.MergedDist(recs)
+	fatal(err)
 
 	fmt.Printf("%s (%s) seed %d model %s: merged %d shard journals\n",
 		fp.Kernel, fp.Scale, fp.Seed, fp.Model, flag.NArg())
 	fmt.Printf("sites: %d of %d completed", len(recs), fp.Sites)
-	if quarantined > 0 {
-		fmt.Printf(" (%d quarantined)", quarantined)
+	if doc.Quarantined > 0 {
+		fmt.Printf(" (%d quarantined)", doc.Quarantined)
 	}
 	fmt.Println()
 	fmt.Printf("profile: %s\n", dist)

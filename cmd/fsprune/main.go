@@ -22,14 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 
 	bl "repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/interrupts"
 	"repro/internal/journal"
 	"repro/internal/kernels"
 	"repro/internal/report"
@@ -95,15 +94,9 @@ func main() {
 
 	// SIGINT/SIGTERM interrupt campaigns cooperatively: workers finish
 	// their in-flight sites, the journal keeps every completed outcome, and
-	// the process reports partial progress. A second signal kills outright.
-	interrupt := make(chan struct{})
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sigc
-		signal.Reset(os.Interrupt, syscall.SIGTERM)
-		close(interrupt)
-	}()
+	// the process reports partial progress. A second signal forces exit 130
+	// even while the first is still draining (see internal/interrupts).
+	interrupt := interrupts.Notify()
 
 	sink := &fault.StatsSink{}
 	campaign := func() fault.CampaignOptions {

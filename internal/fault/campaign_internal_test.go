@@ -164,3 +164,44 @@ func TestStatsSinkMerge(t *testing.T) {
 		t.Fatal("empty stats string")
 	}
 }
+
+// TestProgressHook: the Progress hook sees one call per completed site plus
+// the initial replay snapshot, counts monotonically to the campaign total,
+// and always reports the full campaign size as total.
+func TestProgressHook(t *testing.T) {
+	const n = 40
+	var calls, last, bad atomic.Int64
+	last.Store(-1)
+	progress := func(completed, total int) {
+		calls.Add(1)
+		if total != n {
+			bad.Store(1)
+		}
+		// Monotone non-decreasing: concurrent workers may race the counter
+		// read back, but the value handed to each call is the post-increment
+		// count, so tracking the max is enough.
+		for {
+			prev := last.Load()
+			if int64(completed) <= prev || last.CompareAndSwap(prev, int64(completed)) {
+				break
+			}
+		}
+	}
+	res, _, err := runWith(fakeSites(n), nil, CampaignOptions{Parallelism: 4, Progress: progress},
+		func(s Site) (Outcome, runCost, error) { return Masked, runCost{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != n {
+		t.Fatalf("completed %d, want %d", res.Completed, n)
+	}
+	if got := calls.Load(); got != n+1 { // n sites + the initial replay snapshot
+		t.Fatalf("progress called %d times, want %d", got, n+1)
+	}
+	if last.Load() != n {
+		t.Fatalf("final reported completion %d, want %d", last.Load(), n)
+	}
+	if bad.Load() != 0 {
+		t.Fatal("progress reported a total different from the campaign size")
+	}
+}

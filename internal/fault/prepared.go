@@ -166,6 +166,15 @@ type prepEntry struct {
 	err     error
 	bytes   int64
 	lastUse int64
+	// pins counts callers still between admitting/joining this entry and
+	// installing its state: the creator from registration until its install
+	// finishes, and every singleflight waiter until it wakes and installs.
+	// A pinned entry is never evicted — without the pin, a concurrent
+	// different-keyed install could evict the entry in that window
+	// (evictLocked's keep only shields the entry being installed *by that
+	// call*), and the next equal-keyed Prepare would re-run a golden run
+	// whose result waiters were still adopting, double-counting the miss.
+	pins int
 }
 
 // PreparedCache shares prepared-target state across Targets with equal
@@ -231,21 +240,32 @@ func (c *PreparedCache) prepare(t *Target) error {
 			t.install(s)
 			return nil
 		}
-		// Another caller's golden run is in flight: wait for it.
+		// Another caller's golden run is in flight: wait for it. The pin
+		// keeps the entry resident from here until this caller installed
+		// its state, so the shared golden run can never be evicted out from
+		// under a waiter that already joined it.
+		e.pins++
 		c.shared++
 		t.prepShared++
 		c.mu.Unlock()
 		<-e.ready
-		if e.err != nil {
-			return e.err
+		if e.err == nil {
+			t.install(e.state)
 		}
-		t.install(e.state)
-		return nil
+		c.mu.Lock()
+		e.pins--
+		// Dropping the pin may unblock an eviction the byte bound already
+		// owed; settle it now (still shielding the entry being returned)
+		// rather than waiting for the next install.
+		c.evictLocked(e)
+		c.mu.Unlock()
+		return e.err
 	}
 
-	// First caller for this key: publish the in-flight entry, run the
-	// golden execution outside the lock, then finalize.
-	e := &prepEntry{key: key, ready: make(chan struct{})}
+	// First caller for this key: publish the in-flight entry (pinned until
+	// its install completes), run the golden execution outside the lock,
+	// then finalize.
+	e := &prepEntry{key: key, ready: make(chan struct{}), pins: 1}
 	c.entries[key] = e
 	c.misses++
 	t.prepMisses++
@@ -268,21 +288,24 @@ func (c *PreparedCache) prepare(t *Target) error {
 		c.bytes += e.bytes
 		c.evictLocked(e)
 	}
+	e.pins--
 	close(e.ready)
 	c.mu.Unlock()
 	return err
 }
 
 // evictLocked drops least-recently-used finished entries until retained
-// bytes fit the bound. The entry being returned (keep) and in-flight
-// entries are never evicted, so the newest entry is always admitted — a
-// single oversized kernel degrades the cache to pass-through rather than
-// failing.
+// bytes fit the bound. The entry being returned (keep, may be nil),
+// in-flight entries, and pinned entries (callers still adopting their
+// state; see prepEntry.pins) are never evicted, so the newest entry is
+// always admitted — a single oversized kernel degrades the cache to
+// pass-through rather than failing — and a concurrent install can never
+// invalidate a golden run another caller is mid-way through adopting.
 func (c *PreparedCache) evictLocked(keep *prepEntry) {
 	for c.bytes > c.maxBytes {
 		var victim *prepEntry
 		for _, e := range c.entries {
-			if e == keep || !e.done {
+			if e == keep || !e.done || e.pins > 0 {
 				continue
 			}
 			if victim == nil || e.lastUse < victim.lastUse {

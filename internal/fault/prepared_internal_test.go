@@ -1,0 +1,78 @@
+package fault
+
+import "testing"
+
+// entryFor registers a finished entry of the given size directly, the
+// white-box seam for eviction-policy tests.
+func entryFor(c *PreparedCache, name string, bytes int64) *prepEntry {
+	e := &prepEntry{
+		key:   prepareKey{name: name},
+		ready: make(chan struct{}),
+		done:  true,
+		bytes: bytes,
+	}
+	close(e.ready)
+	c.seq++
+	e.lastUse = c.seq
+	c.entries[e.key] = e
+	c.bytes += bytes
+	return e
+}
+
+// TestEvictLockedSkipsPinned pins the eviction-vs-in-flight-handoff fix:
+// an entry some caller is still adopting (pins > 0) must survive any
+// concurrent install's eviction pass, no matter how over budget the cache
+// is; dropping the pin makes it an ordinary LRU victim again.
+func TestEvictLockedSkipsPinned(t *testing.T) {
+	c := NewPreparedCache(10)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	pinned := entryFor(c, "pinned", 8)
+	pinned.pins = 1
+	loose := entryFor(c, "loose", 8) // more recently used than pinned
+	entryFor(c, "inflight", 0).done = false
+
+	// 16 bytes resident against a 10-byte bound: eviction wants victims.
+	// LRU order would pick "pinned" first; the pin must divert it to
+	// "loose" and then stop (the in-flight entry is never a victim).
+	c.evictLocked(nil)
+	if _, ok := c.entries[pinned.key]; !ok {
+		t.Fatal("pinned entry was evicted while a caller was adopting it")
+	}
+	if _, ok := c.entries[loose.key]; ok {
+		t.Fatal("unpinned LRU entry survived an over-budget eviction pass")
+	}
+	if c.evicted != 1 {
+		t.Fatalf("evictions = %d, want 1", c.evicted)
+	}
+	// The surviving pinned entry alone fits the bound again.
+	if c.bytes != 8 {
+		t.Fatalf("resident bytes = %d, want 8", c.bytes)
+	}
+
+	// Unpinned, the same entry becomes a normal victim.
+	pinned.pins = 0
+	entryFor(c, "newer", 8)
+	c.evictLocked(nil)
+	if _, ok := c.entries[pinned.key]; ok {
+		t.Fatal("unpinned entry survived eviction despite being the LRU victim")
+	}
+}
+
+// TestEvictLockedKeepShield: the entry being returned by the current call
+// is never its own victim, even when it is the only evictable entry.
+func TestEvictLockedKeepShield(t *testing.T) {
+	c := NewPreparedCache(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	keep := entryFor(c, "keep", 100)
+	c.evictLocked(keep)
+	if _, ok := c.entries[keep.key]; !ok {
+		t.Fatal("keep entry evicted by its own install pass")
+	}
+	if c.evicted != 0 {
+		t.Fatalf("evictions = %d, want 0", c.evicted)
+	}
+}

@@ -275,3 +275,60 @@ func TestCampaignReportsCachePrep(t *testing.T) {
 		t.Fatalf("adopted target prep stats: %+v", res.Stats)
 	}
 }
+
+// TestPreparedCacheEvictionUnderContention storms a deliberately undersized
+// cache (every entry oversized, so each install runs the eviction loop)
+// with concurrent Prepares across two keys. Under -race this exercises the
+// pin accounting that keeps a just-admitted entry resident while concurrent
+// equal-keyed callers adopt it; behaviorally, every Prepare must succeed
+// with complete artifacts, the accounting must balance (hits + shared +
+// misses = Prepares), and the cache must never do more golden runs than
+// cold-start generations (misses can only be caused by real evictions, so
+// misses <= evictions + residents per key).
+func TestPreparedCacheEvictionUnderContention(t *testing.T) {
+	const goroutines, rounds = 8, 6
+	cache := fault.NewPreparedCache(1) // everything is oversized
+
+	total := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		for r := 0; r < rounds; r++ {
+			total += 2
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				a := buildGEMM(t, cache)
+				if err := a.Prepare(); err != nil {
+					t.Errorf("key A: %v", err)
+					return
+				}
+				if a.Profile() == nil || len(a.Golden()) == 0 {
+					t.Error("key A: incomplete artifacts after Prepare")
+				}
+				b := buildGEMM(t, cache)
+				b.CheckpointStride = 2 // distinct key: installs contend with A's
+				if err := b.Prepare(); err != nil {
+					t.Errorf("key B: %v", err)
+					return
+				}
+				if b.Profile() == nil || len(b.Golden()) == 0 {
+					t.Error("key B: incomplete artifacts after Prepare")
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	st := cache.Stats()
+	if st.Hits+st.Shared+st.Misses != int64(total) {
+		t.Fatalf("accounting: hits %d + shared %d + misses %d != %d prepares (%+v)",
+			st.Hits, st.Shared, st.Misses, total, st)
+	}
+	// Every miss after the two cold starts must be explained by an
+	// eviction: a miss without a prior eviction of that key would mean an
+	// admitted entry vanished mid-handoff — the window the pin closes.
+	if st.Misses > st.Evictions+2 {
+		t.Fatalf("%d golden runs but only %d evictions (+2 cold starts): entries vanished mid-handoff (%+v)",
+			st.Misses, st.Evictions, st)
+	}
+}

@@ -1,0 +1,63 @@
+package interrupts
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestTwoStage: the first signal closes the stop channel without exiting;
+// the second forces exit 130 — including when both arrive back to back,
+// the swallowed-second-signal window of the old per-command handlers.
+func TestTwoStage(t *testing.T) {
+	sigc := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	stop := notify(sigc, func(code int) { exited <- code })
+
+	sigc <- syscall.SIGINT
+	select {
+	case <-stop:
+	case <-time.After(time.Second):
+		t.Fatal("stop channel not closed after first signal")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("first signal already forced exit %d", code)
+	default:
+	}
+
+	sigc <- syscall.SIGTERM
+	select {
+	case code := <-exited:
+		if code != ForcedExitCode {
+			t.Fatalf("forced exit code %d, want %d", code, ForcedExitCode)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("second signal did not force exit")
+	}
+}
+
+// TestBackToBackSignals: two signals already queued before the handler ran
+// still produce stop-then-exit — nothing is swallowed.
+func TestBackToBackSignals(t *testing.T) {
+	sigc := make(chan os.Signal, 2)
+	sigc <- syscall.SIGTERM
+	sigc <- syscall.SIGTERM
+	exited := make(chan int, 1)
+	stop := notify(sigc, func(code int) { exited <- code })
+
+	select {
+	case <-stop:
+	case <-time.After(time.Second):
+		t.Fatal("stop channel not closed")
+	}
+	select {
+	case code := <-exited:
+		if code != ForcedExitCode {
+			t.Fatalf("forced exit code %d, want %d", code, ForcedExitCode)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued second signal did not force exit")
+	}
+}

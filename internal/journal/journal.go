@@ -15,7 +15,12 @@
 // with a single Write call, so a crash or kill -9 can only tear the final
 // frame; on the next Open the scan stops at the first short, oversized or
 // checksum-failing frame and truncates the file there (the torn-tail rule)
-// — a torn tail costs at most one site's record, never the file.
+// — a torn tail costs at most one site's record, never the file. The header
+// frame and the truncation are fsynced (the file, and on creation its
+// directory entry), so a crash shortly after Open can neither lose the
+// journal's birth nor resurrect bytes of a previously truncated tail under
+// later appends; AutoSync additionally bounds how many acked records an
+// unclean shutdown can lose.
 //
 // The journal opens against an engine fingerprint (kernel, scale, seed,
 // model, warp, checkpoint stride, site count, shard); a journal written
@@ -38,6 +43,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -164,13 +170,17 @@ const maxFrame = 1 << 20
 // Journal is an open, appendable outcome journal. Append is safe for
 // concurrent use by campaign workers.
 type Journal struct {
-	mu       sync.Mutex
-	f        *os.File
-	path     string
-	fp       Fingerprint
-	replayed []Record
-	appended int
-	closed   bool
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	fp        Fingerprint
+	replayed  []Record
+	appended  int
+	closed    bool
+	keep      bool
+	kept      []Record
+	syncEvery int
+	sinceSync int
 }
 
 // frame wraps payload with its length + CRC32C header.
@@ -254,6 +264,18 @@ func Open(path string, fp Fingerprint) (*Journal, error) {
 			f.Close()
 			return nil, fmt.Errorf("journal: write header: %w", err)
 		}
+		// A journal only exists to survive crashes, so its birth must too:
+		// flush the header and the directory entry before reporting the file
+		// open, or a crash could leave a journal that Open once acknowledged
+		// but that has no header (ErrCorrupt) — or no file at all.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: sync header: %w", err)
+		}
+		if err := syncDir(path); err != nil {
+			f.Close()
+			return nil, err
+		}
 		return j, nil
 	}
 
@@ -270,10 +292,18 @@ func Open(path string, fp Fingerprint) (*Journal, error) {
 	}
 	if goodEnd < len(data) {
 		// Torn tail: drop the partial frame so the next append starts on a
-		// clean boundary.
+		// clean boundary — and force the truncation to stable storage. An
+		// unsynced truncate followed by appends and a crash could resurrect
+		// bytes of the torn frame in the middle of the file, turning a
+		// one-record tail loss into a corrupt prefix that costs every record
+		// after it.
 		if err := f.Truncate(int64(goodEnd)); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: sync truncated %s: %w", path, err)
 		}
 	}
 	if _, err := f.Seek(int64(goodEnd), io.SeekStart); err != nil {
@@ -284,9 +314,62 @@ func Open(path string, fp Fingerprint) (*Journal, error) {
 	return j, nil
 }
 
+// syncDir flushes the directory entry of path, making a freshly created
+// file durable (fsync of a file does not persist its directory entry).
+func syncDir(path string) error {
+	dir := filepath.Dir(path)
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: sync dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("journal: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
 // Replayed returns the records that were already complete on disk when the
 // journal was opened, in on-disk order.
 func (j *Journal) Replayed() []Record { return j.replayed }
+
+// KeepRecords makes the journal retain every record appended from now on,
+// so Snapshot can serve live readers (a status endpoint polling an open
+// journal) without re-reading the file under the writers. Replayed records
+// are always retained. Call it before handing the journal to a campaign.
+func (j *Journal) KeepRecords() {
+	j.mu.Lock()
+	j.keep = true
+	j.mu.Unlock()
+}
+
+// Snapshot returns a copy of every record the journal knows: the records
+// replayed at Open plus — after KeepRecords — the records appended since,
+// in on-disk order. Safe for concurrent use with Append.
+func (j *Journal) Snapshot() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, 0, len(j.replayed)+len(j.kept))
+	out = append(out, j.replayed...)
+	out = append(out, j.kept...)
+	return out
+}
+
+// AutoSync makes every n-th Append flush the file to stable storage, a
+// middle ground between syncing nothing until Close (a crash loses every
+// acked record since open) and paying an fsync per record. n <= 0 disables
+// periodic flushing. The long-lived campaign service runs with a small n;
+// the batch CLIs keep the default (sync on Close only) since their records
+// are cheap to recompute.
+func (j *Journal) AutoSync(n int) {
+	j.mu.Lock()
+	j.syncEvery = n
+	j.sinceSync = 0
+	j.mu.Unlock()
+}
 
 // Fingerprint returns the campaign fingerprint the journal was opened with.
 func (j *Journal) Fingerprint() Fingerprint { return j.fp }
@@ -319,6 +402,18 @@ func (j *Journal) Append(r Record) error {
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	j.appended++
+	if j.keep {
+		j.kept = append(j.kept, r)
+	}
+	if j.syncEvery > 0 {
+		j.sinceSync++
+		if j.sinceSync >= j.syncEvery {
+			j.sinceSync = 0
+			if err := j.f.Sync(); err != nil {
+				return fmt.Errorf("journal: sync: %w", err)
+			}
+		}
+	}
 	return nil
 }
 

@@ -417,3 +417,165 @@ func TestMismatchErrorsNameFields(t *testing.T) {
 		t.Fatalf("merge error %q missing %q", err, want)
 	}
 }
+
+// TestRepeatedTornTailRecovery: the crash-recover-crash sequence the
+// truncate fsync exists for. Each generation appends records, tears the
+// tail (as a kill -9 mid-write would), and reopens; every surviving record
+// of every generation must decode, and the file must end exactly at the
+// last whole frame — no bytes of any torn tail may outlive its truncation.
+func TestRepeatedTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	next := 0
+	for gen := 0; gen < 3; gen++ {
+		j, err := Open(path, testFP())
+		if err != nil {
+			t.Fatalf("gen %d: %v", gen, err)
+		}
+		if got := len(j.Replayed()); got != next {
+			t.Fatalf("gen %d: replayed %d records, want %d", gen, got, next)
+		}
+		for i := 0; i < 2; i++ {
+			if err := j.Append(rec(next)); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tear: a partial frame header plus garbage payload bytes.
+		torn := append(data, 0x21, 0x00, 0x00, 0x00, 0xde, 0xad)
+		if err := os.WriteFile(path, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j, err := Open(path, testFP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	got := j.Replayed()
+	if len(got) != next {
+		t.Fatalf("replayed %d records after 3 torn generations, want %d", len(got), next)
+	}
+	for i, r := range got {
+		if r != rec(i) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, rec(i))
+		}
+	}
+	// The recovered file must be exactly the valid frames: scan consumes
+	// everything.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, goodEnd := scan(data); goodEnd != len(data) {
+		t.Fatalf("file holds %d bytes past the last whole frame after recovery", len(data)-goodEnd)
+	}
+}
+
+// TestAutoSyncDurable: with AutoSync every append batch is flushed without
+// Close — the records must be fully framed on disk mid-session, and the
+// cadence must not disturb what a reader decodes.
+func TestAutoSyncDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := Open(path, testFP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.AutoSync(2)
+	for i := 0; i < 5; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Without closing: every appended record is a whole frame on disk.
+	_, recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("mid-session read: %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r != rec(i) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, rec(i))
+		}
+	}
+}
+
+// TestSnapshotLiveRead: KeepRecords + Snapshot serve a live reader a
+// consistent prefix while writers append concurrently, and the final
+// snapshot equals replayed followed by appended records.
+func TestSnapshotLiveRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := Open(path, testFP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j, err = Open(path, testFP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.KeepRecords()
+
+	const writers, perWriter = 4, 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // concurrent reader: snapshots only ever grow
+		defer close(stop)
+		last := 0
+		for i := 0; i < 200; i++ {
+			s := j.Snapshot()
+			if len(s) < last {
+				t.Errorf("snapshot shrank: %d -> %d", last, len(s))
+				return
+			}
+			if len(s) > 0 && s[0] != rec(0) {
+				t.Errorf("snapshot lost the replayed record: %+v", s[0])
+				return
+			}
+			last = len(s)
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := j.Append(rec(1 + w*perWriter + i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-stop
+
+	s := j.Snapshot()
+	if len(s) != 1+writers*perWriter {
+		t.Fatalf("final snapshot has %d records, want %d", len(s), 1+writers*perWriter)
+	}
+	if s[0] != rec(0) {
+		t.Fatalf("snapshot[0] = %+v, want the replayed record", s[0])
+	}
+	seen := map[int]bool{}
+	for _, r := range s[1:] {
+		if seen[r.Index] {
+			t.Fatalf("snapshot holds record %d twice", r.Index)
+		}
+		seen[r.Index] = true
+	}
+}

@@ -6,10 +6,12 @@ package report
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/trace"
 )
 
@@ -192,8 +194,9 @@ func NewCampaign(s fault.CampaignStats) Campaign {
 }
 
 // Merged is the JSON document fsmerge emits for a campaign recombined from
-// shard journals: the identifying fingerprint fields, coverage counters,
-// and the merged resilience profile.
+// shard journals — and the campaign service serves as a final report: the
+// identifying fingerprint fields, coverage counters, and the merged
+// resilience profile.
 type Merged struct {
 	Kernel      string  `json:"kernel"`
 	Scale       string  `json:"scale"`
@@ -208,6 +211,68 @@ type Merged struct {
 	// (attempt counts and fast-forward savings; wall time is not recorded
 	// per shard and stays zero).
 	Campaign Campaign `json:"campaign"`
+}
+
+// NewMerged aggregates journal records into the Merged document. The
+// records must be sorted by site index (journal.Merge's output order):
+// aggregating in that order reproduces the engine's input-order float
+// summation, so the document is bit-identical to the live campaign's — and
+// deterministic, which is what lets fsmerge output and the campaign
+// service's reports be compared byte for byte. Records carrying an unknown
+// outcome fail rather than skew the profile.
+func NewMerged(fp journal.Fingerprint, recs []journal.Record) (Merged, error) {
+	var dist fault.Dist
+	var stats fault.CampaignStats
+	quarantined := 0
+	for _, r := range recs {
+		o := fault.Outcome(r.Outcome)
+		if !o.Valid() {
+			return Merged{}, fmt.Errorf("report: record for site %d holds unknown outcome %d", r.Index, r.Outcome)
+		}
+		dist.Add(o, r.Weight)
+		stats.Runs += int64(r.Attempts)
+		stats.CTAsSkipped += r.CTAsSkipped
+		if r.EarlyExit {
+			stats.EarlyExits++
+		}
+		if r.IntraResumed {
+			stats.IntraSkips++
+		}
+		if r.Attempts > 1 {
+			stats.Retries += int64(r.Attempts - 1)
+		}
+		if r.Err != "" {
+			stats.Quarantined++
+			quarantined++
+		}
+	}
+	return Merged{
+		Kernel:      fp.Kernel,
+		Scale:       fp.Scale,
+		Seed:        fp.Seed,
+		Model:       fp.Model,
+		Shards:      fp.ShardCount,
+		Sites:       fp.Sites,
+		Completed:   len(recs),
+		Quarantined: quarantined,
+		Profile:     NewProfile(dist),
+		Campaign:    NewCampaign(stats),
+	}, nil
+}
+
+// MergedDist recomputes the weighted outcome distribution of a record
+// stream in the given order — the incremental profile a live status reader
+// shows while a campaign is still appending.
+func MergedDist(recs []journal.Record) (fault.Dist, error) {
+	var dist fault.Dist
+	for _, r := range recs {
+		o := fault.Outcome(r.Outcome)
+		if !o.Valid() {
+			return fault.Dist{}, fmt.Errorf("report: record for site %d holds unknown outcome %d", r.Index, r.Outcome)
+		}
+		dist.Add(o, r.Weight)
+	}
+	return dist, nil
 }
 
 // Estimate bundles a plan with its estimated and baseline profiles.

@@ -1,0 +1,505 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/journal"
+	"repro/internal/kernels"
+	"repro/internal/report"
+	"repro/internal/service"
+	"repro/internal/stats"
+)
+
+// standalone runs a submission's campaign directly through fault.Run with
+// its own journal — the fsprune-equivalent reference — and returns the
+// campaign distribution plus the journal-derived report bytes (the byte
+// stream fsmerge would emit, which /report must reproduce exactly).
+func standalone(t *testing.T, dir string, sub service.Submission) (fault.Dist, []byte) {
+	t.Helper()
+	spec, ok := kernels.ByName(sub.Kernel)
+	if !ok {
+		t.Fatalf("unknown kernel %q", sub.Kernel)
+	}
+	sc := kernels.ScaleSmall
+	if sub.Scale == kernels.ScalePaper.String() {
+		sc = kernels.ScalePaper
+	}
+	inst, err := spec.Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Target.WarpSize = sub.Warp
+	inst.Target.FullRun = sub.FullRun
+	inst.Target.CheckpointStride = sub.CkptStride
+	inst.Target.IntraStride = sub.IntraStride
+	if err := inst.Target.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	seed := sub.Seed
+	if seed == 0 {
+		seed = service.DefaultSeed
+	}
+	space := fault.NewSpace(inst.Target.Profile())
+	rng := stats.NewRNG(seed).Split("baseline")
+	sites := fault.Uniform(space.Random(rng, sub.Sites))
+
+	shard := fault.Shard{Index: sub.ShardIndex, Count: sub.ShardCount}
+	if shard.Count == 0 {
+		shard = fault.Shard{Index: 0, Count: 1}
+	}
+	fp := inst.Target.JournalFingerprint(fault.ModelDestValue, len(sites), sc.String(), seed, shard)
+	path := filepath.Join(dir, "reference.journal")
+	j, err := journal.Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fault.Run(inst.Target, sites, fault.CampaignOptions{Journal: j, Shard: shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gotFP, recs, err := journal.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFP != fp {
+		t.Fatalf("journal fingerprint mismatch: %s", fp.Diff(gotFP))
+	}
+	sort.Slice(recs, func(i, k int) bool { return recs[i].Index < recs[k].Index })
+	doc, err := report.NewMerged(fp, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	return res.Dist, buf.Bytes()
+}
+
+// postCampaign submits via the HTTP surface and returns the decoded body.
+func postCampaign(t *testing.T, ts *httptest.Server, sub service.Submission) (id string, deduped bool, code int) {
+	t.Helper()
+	body, err := json.Marshal(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ID      string `json:"id"`
+		Deduped bool   `json:"deduped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID, out.Deduped, resp.StatusCode
+}
+
+// getStatus fetches GET /campaigns/{id}.
+func getStatus(t *testing.T, ts *httptest.Server, id string) service.Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: HTTP %d", id, resp.StatusCode)
+	}
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitDone polls until the campaign reaches a terminal state.
+func waitDone(t *testing.T, ts *httptest.Server, id string) service.Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st := getStatus(t, ts, id)
+		switch st.State {
+		case service.StateDone:
+			return st
+		case service.StateFailed, service.StateInterrupted:
+			t.Fatalf("campaign %s ended %s: %s", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s still %s after deadline", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// reportBytes fetches the raw GET /campaigns/{id}/report body.
+func reportBytes(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/campaigns/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report %s: HTTP %d: %s", id, resp.StatusCode, buf.String())
+	}
+	return buf.Bytes()
+}
+
+func getStats(t *testing.T, ts *httptest.Server) service.Stats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestConcurrentCampaignsMatchStandalone drives the service's headline
+// guarantee end to end over HTTP: two distinct campaigns plus a duplicate
+// of the first, submitted concurrently, produce final reports
+// byte-identical to the fsprune-journal-derived reference — and the
+// duplicate is folded into the existing run (one engine run, visible in
+// /stats).
+func TestConcurrentCampaignsMatchStandalone(t *testing.T) {
+	srv, err := service.New(service.Config{
+		DataDir:     t.TempDir(),
+		Workers:     3,
+		Parallelism: 2,
+		Cache:       fault.NewPreparedCache(256 << 20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	subA := service.Submission{Kernel: "GEMM K1", Sites: 40, Seed: 7}
+	subB := service.Submission{Kernel: "Gaussian K1", Sites: 30, Seed: 11}
+
+	type submitResult struct {
+		id      string
+		deduped bool
+		code    int
+	}
+	results := make([]submitResult, 3)
+	var wg sync.WaitGroup
+	for i, sub := range []service.Submission{subA, subB, subA} {
+		wg.Add(1)
+		go func(i int, sub service.Submission) {
+			defer wg.Done()
+			id, deduped, code := postCampaign(t, ts, sub)
+			results[i] = submitResult{id, deduped, code}
+		}(i, sub)
+	}
+	wg.Wait()
+
+	if results[0].id != results[2].id {
+		t.Fatalf("duplicate submission got a different id: %s vs %s", results[0].id, results[2].id)
+	}
+	if results[0].id == results[1].id {
+		t.Fatalf("distinct submissions share id %s", results[0].id)
+	}
+	dedups := 0
+	for _, r := range results {
+		if r.deduped {
+			dedups++
+		}
+	}
+	if dedups != 1 {
+		t.Fatalf("want exactly 1 deduplicated submission, got %d (%+v)", dedups, results)
+	}
+
+	stA := waitDone(t, ts, results[0].id)
+	stB := waitDone(t, ts, results[1].id)
+	if stA.Completed != 40 || stB.Completed != 30 {
+		t.Fatalf("completed %d/%d, want 40/30", stA.Completed, stB.Completed)
+	}
+
+	distA, wantA := standalone(t, t.TempDir(), subA)
+	distB, wantB := standalone(t, t.TempDir(), subB)
+	if got := reportBytes(t, ts, results[0].id); !bytes.Equal(got, wantA) {
+		t.Errorf("campaign A report differs from standalone reference:\ngot:  %s\nwant: %s", got, wantA)
+	}
+	if got := reportBytes(t, ts, results[1].id); !bytes.Equal(got, wantB) {
+		t.Errorf("campaign B report differs from standalone reference:\ngot:  %s\nwant: %s", got, wantB)
+	}
+	// The live status profile must be the same bit-identical distribution.
+	if pa := report.NewProfile(distA); stA.Profile == nil || *stA.Profile != pa {
+		t.Errorf("campaign A status profile %+v, want %+v", stA.Profile, pa)
+	}
+	if pb := report.NewProfile(distB); stB.Profile == nil || *stB.Profile != pb {
+		t.Errorf("campaign B status profile %+v, want %+v", stB.Profile, pb)
+	}
+
+	st := getStats(t, ts)
+	if st.Submitted != 3 || st.DedupHits != 1 || st.EngineRuns != 2 {
+		t.Errorf("stats submitted/dedup/engine = %d/%d/%d, want 3/1/2",
+			st.Submitted, st.DedupHits, st.EngineRuns)
+	}
+	if len(st.Campaigns) != 2 {
+		t.Errorf("stats lists %d campaigns, want 2", len(st.Campaigns))
+	}
+}
+
+// TestRestartMidCampaignResumes kills the daemon (Stop) mid-campaign,
+// starts a fresh Server over the same data directory, and verifies the
+// recovered campaign resumes through journal replay to the exact bytes an
+// uninterrupted run produces.
+func TestRestartMidCampaignResumes(t *testing.T) {
+	dir := t.TempDir()
+	sub := service.Submission{Kernel: "GEMM K1", Sites: 120, Seed: 5}
+
+	srv, err := service.New(service.Config{
+		DataDir:     dir,
+		Workers:     1,
+		Parallelism: 1,
+		SyncEvery:   1,
+		Cache:       fault.NewPreparedCache(256 << 20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	id, deduped, err := srv.Submit(sub)
+	if err != nil || deduped {
+		t.Fatalf("submit: id=%s deduped=%v err=%v", id, deduped, err)
+	}
+	// Let it make some progress, then pull the plug.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st, err := srv.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Completed >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign made no progress (state %s)", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Stop()
+
+	st, err := srv.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State == service.StateFailed {
+		t.Fatalf("campaign failed at shutdown: %s", st.Error)
+	}
+	if st.State == service.StateDone {
+		// The campaign raced to completion before Stop; the restart below
+		// then only exercises done-journal recovery, which is still worth
+		// asserting, but log it so a flakily-fast machine is visible.
+		t.Logf("campaign completed before shutdown; resume path not exercised")
+	}
+
+	// "Restart the daemon": a fresh Server over the same data directory.
+	srv2, err := service.New(service.Config{
+		DataDir:     dir,
+		Workers:     1,
+		Parallelism: 1,
+		Cache:       fault.NewPreparedCache(256 << 20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.Start()
+	defer srv2.Stop()
+	ts := httptest.NewServer(srv2.Handler())
+	defer ts.Close()
+
+	st2 := waitDone(t, ts, id)
+	if st2.Completed != sub.Sites {
+		t.Fatalf("resumed campaign completed %d sites, want %d", st2.Completed, sub.Sites)
+	}
+	_, want := standalone(t, t.TempDir(), sub)
+	if got := reportBytes(t, ts, id); !bytes.Equal(got, want) {
+		t.Errorf("resumed report differs from uninterrupted reference:\ngot:  %s\nwant: %s", got, want)
+	}
+	if st.State == service.StateInterrupted {
+		// The resumed run must actually have replayed the first
+		// incarnation's journaled outcomes rather than redone them.
+		stats := getStats(t, ts)
+		var replayed int64
+		for _, c := range stats.Campaigns {
+			if c.ID == id {
+				replayed = c.Campaign.Replayed
+			}
+		}
+		if replayed < 3 {
+			t.Errorf("resumed campaign replayed %d journaled sites, want >= 3", replayed)
+		}
+	}
+
+	// Third incarnation: the finished journal recovers as a done campaign
+	// whose report is immediately servable, byte-identical again.
+	srv3, err := service.New(service.Config{DataDir: dir, Cache: fault.NewPreparedCache(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts3 := httptest.NewServer(srv3.Handler())
+	defer ts3.Close()
+	st3 := getStatus(t, ts3, id)
+	if st3.State != service.StateDone {
+		t.Fatalf("recovered finished campaign is %s, want done", st3.State)
+	}
+	if got := reportBytes(t, ts3, id); !bytes.Equal(got, want) {
+		t.Errorf("recovered report differs from reference")
+	}
+}
+
+// TestSubmitValidation exercises the fsprune-equivalent request rules.
+func TestSubmitValidation(t *testing.T) {
+	srv, err := service.New(service.Config{DataDir: t.TempDir(), Cache: fault.NewPreparedCache(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Start: validation happens at admission, before any worker runs.
+	bad := []struct {
+		name string
+		sub  service.Submission
+	}{
+		{"unknown kernel", service.Submission{Kernel: "No Such K9"}},
+		{"unknown scale", service.Submission{Kernel: "GEMM K1", Scale: "huge"}},
+		{"negative sites", service.Submission{Kernel: "GEMM K1", Sites: -1}},
+		{"negative warp", service.Submission{Kernel: "GEMM K1", Warp: -2}},
+		{"negative stride", service.Submission{Kernel: "GEMM K1", CkptStride: -1}},
+		{"fullrun+stride", service.Submission{Kernel: "GEMM K1", FullRun: true, CkptStride: 3}},
+		{"fullrun+intra", service.Submission{Kernel: "GEMM K1", FullRun: true, IntraStride: 2}},
+		{"shard index without count", service.Submission{Kernel: "GEMM K1", ShardIndex: 1}},
+		{"shard index out of range", service.Submission{Kernel: "GEMM K1", ShardIndex: 2, ShardCount: 2}},
+		{"negative shard index", service.Submission{Kernel: "GEMM K1", ShardIndex: -1, ShardCount: 2}},
+	}
+	for _, tc := range bad {
+		if _, _, err := srv.Submit(tc.sub); err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, tc.sub)
+		}
+	}
+	// A valid sharded submission is admitted and normalized.
+	id, deduped, err := srv.Submit(service.Submission{Kernel: "GEMM K1", ShardIndex: 1, ShardCount: 2})
+	if err != nil || deduped {
+		t.Fatalf("valid sharded submit: %v (deduped %v)", err, deduped)
+	}
+	st, err := srv.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Submission.Scale != "small" || st.Submission.Seed != service.DefaultSeed || st.Submission.Sites != service.DefaultSites {
+		t.Errorf("submission not normalized: %+v", st.Submission)
+	}
+	if want := (service.DefaultSites - 1 + 2 - 1) / 2; st.OwnedSites != want {
+		t.Errorf("owned sites %d, want %d", st.OwnedSites, want)
+	}
+}
+
+// TestAdmissionControl fills the queue (no workers draining it) and
+// verifies overflow is ErrQueueFull / HTTP 429 while duplicates of queued
+// campaigns still deduplicate instead of consuming a slot.
+func TestAdmissionControl(t *testing.T) {
+	srv, err := service.New(service.Config{
+		DataDir:    t.TempDir(),
+		QueueDepth: 2,
+		Cache:      fault.NewPreparedCache(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately not started: every admitted campaign stays queued.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if _, _, err := srv.Submit(service.Submission{Kernel: "GEMM K1", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Submit(service.Submission{Kernel: "GEMM K1", Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Submit(service.Submission{Kernel: "GEMM K1", Seed: 3}); !errors.Is(err, service.ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+	// Duplicate of a queued campaign dedups rather than 429ing.
+	_, deduped, err := srv.Submit(service.Submission{Kernel: "GEMM K1", Seed: 2})
+	if err != nil || !deduped {
+		t.Fatalf("duplicate of queued campaign: deduped=%v err=%v", deduped, err)
+	}
+	// And over HTTP the overflow maps to 429.
+	_, _, code := postCampaign(t, ts, service.Submission{Kernel: "GEMM K1", Seed: 4})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overflow HTTP code %d, want 429", code)
+	}
+}
+
+// TestHTTPErrors covers the error surface: unknown id 404, report before
+// completion 409, malformed body 400.
+func TestHTTPErrors(t *testing.T) {
+	srv, err := service.New(service.Config{DataDir: t.TempDir(), Cache: fault.NewPreparedCache(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/campaigns/deadbeef00000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown campaign: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	id, _, err := srv.Submit(service.Submission{Kernel: "GEMM K1", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/campaigns/%s/report", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("report of queued campaign: HTTP %d, want 409", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(`{"kernel": 42}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: HTTP %d, want 400", resp.StatusCode)
+	}
+}
