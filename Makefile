@@ -3,8 +3,8 @@ GO ?= go
 # The perf trajectory across PRs: `make bench` records the current tree as
 # $(BENCH_OUT); `make ci` (via bench-check) fails when any benchmark present
 # in both files regressed more than 25% against $(BENCH_PREV).
-BENCH_PREV  ?= BENCH_pr5.json
-BENCH_OUT   ?= BENCH_pr6.json
+BENCH_PREV  ?= BENCH_pr6.json
+BENCH_OUT   ?= BENCH_pr7.json
 BENCH_COUNT ?= 2
 
 .PHONY: ci vet build test race campaign-smoke service-smoke doccheck bench-smoke bench bench-check bench-full
@@ -56,7 +56,7 @@ bench-smoke:
 # path; BenchmarkPipelineColdPrepare attaches a fresh cache per iteration
 # and stays the designated cold-Prepare gauge.
 bench:
-	$(GO) test -run '^$$' -bench '^Benchmark(Table|Fig|Campaign|Pipeline)' -benchtime 1x -count $(BENCH_COUNT) . | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench '^Benchmark(Table|Fig|Campaign|Pipeline|InterpStep)' -benchtime 1x -count $(BENCH_COUNT) . | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
 # Regression gate: rerun the benchmarks and diff against the previous PR's
 # recording; any >25% slowdown fails with a readable per-benchmark report.

@@ -103,6 +103,70 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(dyn), "instrs/exec")
 }
 
+// benchInterpStep measures the raw per-instruction dispatch cost on an
+// ALU-heavy long loop via a bare Execute — no campaign machinery, no
+// tracing, no injection — so the compiled plan's fast paths (pre-decoded
+// closures, straight-run batching, warp batching) are the only thing on the
+// profile. The BenchmarkInterpStep* / BenchmarkInterpStepReference ratio is
+// the headline win of plan compilation (DESIGN.md §3.8).
+func benchInterpStep(b *testing.B, warpSize int, interpret bool) {
+	b.Helper()
+	prog, err := ptx.Assemble("stepbench", `
+		cvt.u32.u16 $r0, %tid.x
+		mov.u32 $r4, $r124                   // acc = 0
+		mov.u32 $r5, $r124                   // i = 0
+		mov.u32 $r6, s[0x0014]               // iters
+		lloop: add.u32 $r4, $r4, $r0
+		xor.b32 $r4, $r4, $r5
+		mad.lo.u32 $r4, $r4, 0x00000003, $r0
+		shr.u32 $r7, $r4, 0x00000010
+		add.u32 $r4, $r4, $r7
+		add.u32 $r5, $r5, 0x00000001
+		set.lt.u32.u32 $p0/$o127, $r5, $r6
+		@$p0.ne bra lloop
+		shl.u32 $r7, $r0, 0x00000002
+		add.u32 $r7, $r7, s[0x0010]          // &out[tid]
+		st.global.u32 [$r7], $r4
+		exit
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const threads = 64
+	dev := gpusim.NewDevice(threads * 4)
+	launch := &gpusim.Launch{
+		Prog:      prog,
+		Grid:      gpusim.Dim3{X: 1, Y: 1, Z: 1},
+		Block:     gpusim.Dim3{X: threads, Y: 1, Z: 1},
+		Params:    []uint32{0, 2000},
+		Watchdog:  1 << 30,
+		WarpSize:  warpSize,
+		Interpret: interpret,
+	}
+	var dyn int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := gpusim.Execute(dev.Clone(), launch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trap != nil {
+			b.Fatal(res.Trap)
+		}
+		dyn = res.TotalDyn
+	}
+	b.ReportMetric(float64(dyn), "instrs/exec")
+}
+
+// BenchmarkInterpStep and BenchmarkInterpStepWarp run the compiled plan
+// under the serial and SIMT-lockstep schedulers; the two Reference variants
+// run the identical launches through the reference interpreter
+// (Launch.Interpret, the CLI's -compiled=false).
+func BenchmarkInterpStep(b *testing.B)              { benchInterpStep(b, 0, false) }
+func BenchmarkInterpStepWarp(b *testing.B)          { benchInterpStep(b, 32, false) }
+func BenchmarkInterpStepReference(b *testing.B)     { benchInterpStep(b, 0, true) }
+func BenchmarkInterpStepWarpReference(b *testing.B) { benchInterpStep(b, 32, true) }
+
 // BenchmarkAssemble measures the PTX assembler on the largest kernel source.
 func BenchmarkAssemble(b *testing.B) {
 	spec, _ := kernels.ByName("HotSpot K1")

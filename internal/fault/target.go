@@ -61,6 +61,13 @@ type Target struct {
 	// FullRun is set.
 	IntraStride int
 
+	// Interpret disables the simulator's compiled execution plan for every
+	// run of this target (gpusim.Launch.Interpret): the reference
+	// interpreter executes each instruction instead of the pre-decoded
+	// closure plan. Outcomes are bit-identical either way; the switch is
+	// the -compiled=false differential-testing escape hatch.
+	Interpret bool
+
 	// Cache, when non-nil, routes Prepare through a shared prepared-target
 	// cache: the first target with a given key (see prepareKey) performs the
 	// golden run, concurrent callers block on the in-flight entry, and later
@@ -99,6 +106,7 @@ func (t *Target) launch(inj *gpusim.Injection, tracer gpusim.Tracer, watchdog in
 		Inject:      inj,
 		Tracer:      tracer,
 		WarpSize:    t.WarpSize,
+		Interpret:   t.Interpret,
 	}
 }
 

@@ -11,88 +11,110 @@ import (
 // PTXPlus condition-code semantics used by guarded branches such as
 // "@$p0.eq bra": eq tests the zero flag, ne its complement, lt the sign
 // flag, and so on. Unsigned forms (lo/ls/hi/hs) use the carry flag as
-// not-borrow.
-func evalCond(flags uint8, c isa.CmpOp) bool {
+// not-borrow. valid=false flags a condition code with no defined semantics
+// (including CmpNone, which the parser never emits on a guard); callers
+// surface it as a TrapInvalid rather than silently executing.
+func evalCond(flags uint8, c isa.CmpOp) (cond, valid bool) {
 	z := flags&isa.FlagZero != 0
 	s := flags&isa.FlagSign != 0
 	cy := flags&isa.FlagCarry != 0
 	switch c {
 	case isa.CmpEq:
-		return z
+		return z, true
 	case isa.CmpNe:
-		return !z
+		return !z, true
 	case isa.CmpLt:
-		return s
+		return s, true
 	case isa.CmpLe:
-		return s || z
+		return s || z, true
 	case isa.CmpGt:
-		return !s && !z
+		return !s && !z, true
 	case isa.CmpGe:
-		return !s
+		return !s, true
 	case isa.CmpLo:
-		return !cy && !z
+		return !cy && !z, true
 	case isa.CmpLs:
-		return !cy || z
+		return !cy || z, true
 	case isa.CmpHi:
-		return cy && !z
+		return cy && !z, true
 	case isa.CmpHs:
-		return cy
+		return cy, true
 	}
-	return true
+	return false, false
 }
 
 // compare evaluates a set/setp comparison of raw values a, b under type t.
-func compare(c isa.CmpOp, a, b uint32, t isa.DataType) bool {
+// valid=false flags a selector with no defined semantics for the type:
+// CmpNone, out-of-range codes, and the unsigned forms (lo/ls/hi/hs) applied
+// to floats. On signed integers the unsigned forms compare the raw bits
+// (the PTXPlus listings use them for address arithmetic) and stay valid.
+func compare(c isa.CmpOp, a, b uint32, t isa.DataType) (cond, valid bool) {
 	if t.Float() {
 		fa, fb := f32(a), f32(b)
 		switch c {
 		case isa.CmpEq:
-			return fa == fb
+			return fa == fb, true
 		case isa.CmpNe:
-			return fa != fb
+			return fa != fb, true
 		case isa.CmpLt:
-			return fa < fb
+			return fa < fb, true
 		case isa.CmpLe:
-			return fa <= fb
+			return fa <= fb, true
 		case isa.CmpGt:
-			return fa > fb
+			return fa > fb, true
 		case isa.CmpGe:
-			return fa >= fb
+			return fa >= fb, true
 		}
-		return false
+		return false, false
 	}
 	if t.Signed() {
 		sa, sb := int32(a), int32(b)
 		switch c {
 		case isa.CmpEq:
-			return sa == sb
+			return sa == sb, true
 		case isa.CmpNe:
-			return sa != sb
+			return sa != sb, true
 		case isa.CmpLt:
-			return sa < sb
+			return sa < sb, true
 		case isa.CmpLe:
-			return sa <= sb
+			return sa <= sb, true
 		case isa.CmpGt:
-			return sa > sb
+			return sa > sb, true
 		case isa.CmpGe:
-			return sa >= sb
+			return sa >= sb, true
 		}
+		// lo/ls/hi/hs on signed types fall through to the raw-bit forms.
 	}
 	switch c {
 	case isa.CmpEq:
-		return a == b
+		return a == b, true
 	case isa.CmpNe:
-		return a != b
+		return a != b, true
 	case isa.CmpLt, isa.CmpLo:
-		return a < b
+		return a < b, true
 	case isa.CmpLe, isa.CmpLs:
-		return a <= b
+		return a <= b, true
 	case isa.CmpGt, isa.CmpHi:
-		return a > b
+		return a > b, true
 	case isa.CmpGe, isa.CmpHs:
-		return a >= b
+		return a >= b, true
 	}
-	return false
+	return false, false
+}
+
+// invalidCondTrap is the trap for a guard or selp condition code outside the
+// defined set. The compiled plan (plan.go) detects the same condition at
+// decode time and must build a bit-identical trap.
+func invalidCondTrap(th *threadState, c isa.CmpOp) *Trap {
+	return &Trap{Kind: TrapInvalid, Thread: th.flat, PC: th.pc,
+		Msg: fmt.Sprintf("invalid condition code %d", uint8(c))}
+}
+
+// invalidCmpTrap is the trap for a set/setp comparison selector with no
+// defined semantics for the source type. Mirrored by the compiled plan.
+func invalidCmpTrap(th *threadState, c isa.CmpOp) *Trap {
+	return &Trap{Kind: TrapInvalid, Thread: th.flat, PC: th.pc,
+		Msg: fmt.Sprintf("invalid comparison code %d", uint8(c))}
 }
 
 // valueFlags derives predicate flags from a result value: zero and sign from
@@ -114,6 +136,13 @@ func valueFlags(v uint32, carry, overflow bool) uint8 {
 	return f
 }
 
+// watchdogTrap builds the runaway-thread trap, shared between the reference
+// step and the compiled dispatch loops so the message stays bit-identical.
+func (e *exec) watchdogTrap(th *threadState) *Trap {
+	return &Trap{Kind: TrapWatchdog, Thread: th.flat, PC: th.pc,
+		Msg: fmt.Sprintf("exceeded %d dynamic instructions", e.watchdog)}
+}
+
 // step executes one dynamic instruction of thread th.
 // It returns blocked=true when the thread parked at a barrier (pc already
 // advanced past the bar.sync), and a trap on abnormal termination.
@@ -127,8 +156,7 @@ func (e *exec) step(th *threadState, cta *ctaState) (blocked bool, trap *Trap) {
 
 	th.dynCount++
 	if th.dynCount > e.watchdog {
-		return false, &Trap{Kind: TrapWatchdog, Thread: th.flat, PC: th.pc,
-			Msg: fmt.Sprintf("exceeded %d dynamic instructions", e.watchdog)}
+		return false, e.watchdogTrap(th)
 	}
 
 	// Guard evaluation: a failed guard annuls the instruction (it still
@@ -136,7 +164,10 @@ func (e *exec) step(th *threadState, cta *ctaState) (blocked bool, trap *Trap) {
 	// fault site).
 	executed := true
 	if in.Guard.Active() {
-		ok := evalCond(th.preds[in.Guard.Reg.Index], in.Guard.Cond)
+		ok, valid := evalCond(th.preds[in.Guard.Reg.Index], in.Guard.Cond)
+		if !valid {
+			return false, invalidCondTrap(th, in.Guard.Cond)
+		}
 		if in.Guard.Not {
 			ok = !ok
 		}
@@ -261,8 +292,12 @@ func (e *exec) apply(th *threadState, cta *ctaState, in *isa.Instruction) (nextP
 		if t != nil {
 			return 0, false, t
 		}
+		cv, valid := compare(in.Cmp, a, b, in.SType)
+		if !valid {
+			return 0, false, invalidCmpTrap(th, in.Cmp)
+		}
 		var v uint32
-		if compare(in.Cmp, a, b, in.SType) {
+		if cv {
 			v = 0xFFFFFFFF
 			if in.DType.Float() {
 				v = f32bits(1.0)
@@ -290,7 +325,11 @@ func (e *exec) apply(th *threadState, cta *ctaState, in *isa.Instruction) (nextP
 		if cond == isa.CmpNone {
 			cond = isa.CmpNe
 		}
-		if evalCond(flags, cond) {
+		sel, valid := evalCond(flags, cond)
+		if !valid {
+			return 0, false, invalidCondTrap(th, cond)
+		}
+		if sel {
 			v = a
 		}
 		e.writeDest(th, in, v, valueFlags(v, false, false))

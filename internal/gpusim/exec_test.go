@@ -533,8 +533,25 @@ func TestEvalCondTable(t *testing.T) {
 		{isa.FlagZero | isa.FlagCarry, isa.CmpHi, false},
 	}
 	for _, c := range cases {
-		if got := evalCond(c.flags, c.cond); got != c.want {
+		got, valid := evalCond(c.flags, c.cond)
+		if !valid {
+			t.Errorf("evalCond(%#x, %v) reported invalid", c.flags, c.cond)
+		}
+		if got != c.want {
 			t.Errorf("evalCond(%#x, %v) = %v, want %v", c.flags, c.cond, got, c.want)
+		}
+		// The compiled guard test must agree with the interpreter.
+		if test := condTest(c.cond); test == nil || test(c.flags) != c.want {
+			t.Errorf("condTest(%v)(%#x) disagrees with evalCond", c.cond, c.flags)
+		}
+	}
+	// Unknown condition codes are invalid in both paths.
+	for _, c := range []isa.CmpOp{isa.CmpNone, isa.CmpHs + 1, isa.CmpOp(99)} {
+		if _, valid := evalCond(0, c); valid {
+			t.Errorf("evalCond(0, %d) claims valid", uint8(c))
+		}
+		if condTest(c) != nil {
+			t.Errorf("condTest(%d) compiled an evaluator", uint8(c))
 		}
 	}
 }

@@ -47,6 +47,9 @@ func Execute(dev *Device, launch *Launch) (*Result, error) {
 		intra:       launch.IntraRec,
 		addrFlipBit: -1,
 	}
+	if !launch.Interpret {
+		e.plan = planFor(launch.Prog)
+	}
 
 	nCTA := launch.Grid.Count()
 	if launch.FirstCTA < 0 || launch.FirstCTA >= nCTA {
@@ -107,9 +110,14 @@ func Execute(dev *Device, launch *Launch) (*Result, error) {
 			e.intra.beginCTA(ctaIndex, cta)
 		}
 		var trap *Trap
-		if launch.WarpSize > 0 {
+		switch {
+		case launch.WarpSize > 0 && e.plan != nil:
+			trap = e.runCTAWarpedCompiled(cta, launch.WarpSize)
+		case launch.WarpSize > 0:
 			trap = e.runCTAWarped(cta, launch.WarpSize)
-		} else {
+		case e.plan != nil:
+			trap = e.runCTACompiled(cta)
+		default:
 			trap = e.runCTA(cta)
 		}
 		for _, th := range cta.threads {

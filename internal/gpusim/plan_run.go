@@ -1,0 +1,352 @@
+package gpusim
+
+// The compiled dispatch loops. Two tiers:
+//
+//   - stepCompiled is the careful path: one dynamic instruction with every
+//     observable of exec.step intact (tracer callback, injection arm/disarm
+//     and writeback, watchdog, guard annulment). It is used whenever
+//     something watches the thread — a Tracer, an intra-CTA recorder, or a
+//     not-yet-fired injection.
+//   - runThreadFast/runWarpBatch are the fast paths for unobserved
+//     execution: they dispatch straight-line runs of pre-decoded closures
+//     without re-entering the scheduler, keeping only the per-instruction
+//     dynCount/watchdog/guard work the architectural semantics require.
+//
+// The fast paths are taken exactly when Tracer == nil, intra == nil, and no
+// injection is pending on the thread/warp, so e.addrFlipBit is always -1
+// there and all injection arm/disarm points live in stepCompiled, in the
+// same positions as the reference step. Scheduling order (serial
+// round-robin at barrier boundaries; warped min-PC sweeps) is identical to
+// runCTA/runCTAWarped by construction — see DESIGN.md §3.8.
+
+// stepCompiled executes one dynamic instruction via the plan, mirroring
+// exec.step observable for observable.
+func (e *exec) stepCompiled(th *threadState, cta *ctaState) (blocked bool, trap *Trap) {
+	ops := e.plan.ops
+	if th.pc < 0 || th.pc >= len(ops) {
+		// Falling off the end retires the thread, like an implicit exit.
+		th.done = true
+		return false, nil
+	}
+	op := &ops[th.pc]
+
+	th.dynCount++
+	if th.dynCount > e.watchdog {
+		return false, e.watchdogTrap(th)
+	}
+
+	executed := true
+	if op.guard != nil {
+		ok, tr := op.guard(th)
+		if tr != nil {
+			return false, tr
+		}
+		executed = ok
+	}
+
+	inj := e.launch.Inject
+	injHere := inj != nil && th.flat == inj.Thread && th.dynCount-1 == inj.DynInst
+
+	wrote := false
+	if e.launch.Tracer != nil || injHere {
+		wrote = executed && op.hasDest
+		if e.launch.Tracer != nil {
+			e.launch.Tracer.Record(th.flat, th.pc, wrote)
+		}
+	}
+	if injHere && executed && inj.Kind == InjectMemAddr {
+		e.addrFlipBit = inj.Bit
+	}
+
+	nextPC := th.pc + 1
+	if executed {
+		if op.seq != nil {
+			if tr := op.seq(e, th, cta); tr != nil {
+				e.addrFlipBit = -1
+				return false, tr
+			}
+		} else {
+			var tr *Trap
+			nextPC, blocked, tr = op.ctrl(e, th, cta)
+			if tr != nil {
+				e.addrFlipBit = -1
+				return false, tr
+			}
+		}
+	}
+	e.addrFlipBit = -1
+
+	if injHere && wrote {
+		switch inj.Kind {
+		case InjectDestValue:
+			e.flipRegBit(th, op.destReg, inj.Bit)
+		case InjectDestDouble:
+			e.flipRegBit(th, op.destReg, inj.Bit)
+			e.flipRegBit(th, op.destReg, inj.Bit+1)
+		}
+	}
+
+	th.pc = nextPC
+	return blocked, nil
+}
+
+// runThreadFast runs one unobserved thread until it parks, exits, or
+// traps, batching straight-line runs. Loop shape equivalence to the
+// reference: each iteration of exec.step either advances pc (sequential),
+// redirects it (branch), parks (bar), or retires (exit/fall-off); this
+// loop performs the same transitions with the per-instruction bookkeeping
+// inlined. th.pc is kept current so traps built inside closures carry the
+// faulting PC.
+func (e *exec) runThreadFast(th *threadState, cta *ctaState) *Trap {
+	ops := e.plan.ops
+	n := len(ops)
+	for {
+		pc := th.pc
+		if pc < 0 || pc >= n {
+			th.done = true
+			return nil
+		}
+		op := &ops[pc]
+		if op.straight > 0 {
+			end := pc + int(op.straight)
+			for pc < end {
+				op = &ops[pc]
+				th.dynCount++
+				if th.dynCount > e.watchdog {
+					return e.watchdogTrap(th)
+				}
+				if op.guard != nil {
+					ok, tr := op.guard(th)
+					if tr != nil {
+						return tr
+					}
+					if !ok {
+						// Annulled: retires and counts, writes nothing.
+						pc++
+						th.pc = pc
+						continue
+					}
+				}
+				if tr := op.seq(e, th, cta); tr != nil {
+					return tr
+				}
+				pc++
+				th.pc = pc
+			}
+			continue
+		}
+		// Control instruction.
+		th.dynCount++
+		if th.dynCount > e.watchdog {
+			return e.watchdogTrap(th)
+		}
+		if op.guard != nil {
+			ok, tr := op.guard(th)
+			if tr != nil {
+				return tr
+			}
+			if !ok {
+				th.pc = pc + 1
+				continue
+			}
+		}
+		nextPC, blocked, tr := op.ctrl(e, th, cta)
+		if tr != nil {
+			return tr
+		}
+		th.pc = nextPC
+		if th.done || blocked {
+			return nil
+		}
+	}
+}
+
+// runCTACompiled is the compiled counterpart of runCTA: identical
+// round-robin scheduling at barrier boundaries, with unobserved threads
+// driven by runThreadFast. An injected thread steps carefully until its
+// injection fires, then joins the fast path.
+func (e *exec) runCTACompiled(cta *ctaState) *Trap {
+	instrumented := e.launch.Tracer != nil || e.intra != nil
+	inj := e.launch.Inject
+	for {
+		progress := false
+		for _, th := range cta.threads {
+			if th.done || th.waiting {
+				continue
+			}
+			if instrumented {
+				for !th.done && !th.waiting {
+					blocked, trap := e.stepCompiled(th, cta)
+					if trap != nil {
+						return trap
+					}
+					if e.intra != nil {
+						// Same resume-safe points as runCTA: any post-step
+						// boundary in serial mode.
+						e.intra.step()
+						e.intra.flush()
+					}
+					if blocked {
+						break
+					}
+				}
+			} else {
+				if inj != nil && th.flat == inj.Thread {
+					// Careful until the injection fires: the step that starts
+					// with dynCount == DynInst retires dynamic instruction
+					// DynInst and applies the fault.
+					blocked := false
+					for !th.done && !blocked && th.dynCount <= inj.DynInst {
+						var trap *Trap
+						blocked, trap = e.stepCompiled(th, cta)
+						if trap != nil {
+							return trap
+						}
+					}
+				}
+				if !th.done && !th.waiting {
+					if trap := e.runThreadFast(th, cta); trap != nil {
+						return trap
+					}
+				}
+			}
+			progress = true
+		}
+		status, trap := resolveBarrier(cta, progress)
+		if trap != nil {
+			return trap
+		}
+		if status == ctaFinished {
+			return nil
+		}
+	}
+}
+
+// runWarpBatch executes a straight-line run for the warp's min-PC lanes:
+// the active set is every eligible lane at minPC, and the run extends to
+// the earlier of the straight-run end and the lowest PC of any other
+// alive lane (where diverged lanes would reconverge into the active set).
+// Within that window the reference min-PC sweep would re-select exactly
+// the active lanes every instruction, so executing instruction-major in
+// warp order here retires the same dynamic instructions in the same order.
+func (e *exec) runWarpBatch(warp []*threadState, minPC int, cta *ctaState) (bool, *Trap) {
+	ops := e.plan.ops
+	active := e.warpActive[:0]
+	limit := minPC + int(ops[minPC].straight)
+	for _, th := range warp {
+		if th.done || th.waiting {
+			continue
+		}
+		if th.pc == minPC {
+			active = append(active, th)
+		} else if th.pc < limit {
+			limit = th.pc
+		}
+	}
+	e.warpActive = active
+	for pc := minPC; pc < limit; pc++ {
+		op := &ops[pc]
+		for _, th := range active {
+			th.dynCount++
+			if th.dynCount > e.watchdog {
+				return true, e.watchdogTrap(th)
+			}
+			if op.guard != nil {
+				ok, tr := op.guard(th)
+				if tr != nil {
+					return true, tr
+				}
+				if !ok {
+					th.pc = pc + 1
+					continue
+				}
+			}
+			if tr := op.seq(e, th, cta); tr != nil {
+				return true, tr
+			}
+			th.pc = pc + 1
+		}
+	}
+	return len(active) > 0, nil
+}
+
+// runCTAWarpedCompiled is the compiled counterpart of runCTAWarped:
+// identical min-PC lockstep scheduling, with unobserved warps batching
+// straight-line runs across all active lanes. Warps containing a pending
+// injection step carefully until it fires.
+func (e *exec) runCTAWarpedCompiled(cta *ctaState, warpSize int) *Trap {
+	instrumented := e.launch.Tracer != nil || e.intra != nil
+	inj := e.launch.Inject
+	nInstr := len(e.plan.ops)
+	for {
+		progress := false
+		for base := 0; base < len(cta.threads); base += warpSize {
+			end := base + warpSize
+			if end > len(cta.threads) {
+				end = len(cta.threads)
+			}
+			warp := cta.threads[base:end]
+			var injTh *threadState
+			if inj != nil {
+				for _, th := range warp {
+					if th.flat == inj.Thread {
+						injTh = th
+						break
+					}
+				}
+			}
+			// Drive this warp until its threads all park or exit.
+			for {
+				minPC := -1
+				for _, th := range warp {
+					if th.done || th.waiting {
+						continue
+					}
+					if minPC < 0 || th.pc < minPC {
+						minPC = th.pc
+					}
+				}
+				if minPC < 0 {
+					break
+				}
+				if !instrumented &&
+					(injTh == nil || injTh.done || injTh.dynCount > inj.DynInst) &&
+					minPC < nInstr && e.plan.ops[minPC].straight > 0 {
+					stepped, trap := e.runWarpBatch(warp, minPC, cta)
+					if trap != nil {
+						return trap
+					}
+					if stepped {
+						progress = true
+					}
+					continue
+				}
+				// Careful sweep, identical to the reference loop.
+				for _, th := range warp {
+					if th.done || th.waiting || th.pc != minPC {
+						continue
+					}
+					if _, trap := e.stepCompiled(th, cta); trap != nil {
+						return trap
+					}
+					if e.intra != nil {
+						e.intra.step()
+					}
+					progress = true
+				}
+				if e.intra != nil {
+					// Same resume-safe points as runCTAWarped: min-PC sweep
+					// boundaries only.
+					e.intra.flush()
+				}
+			}
+		}
+		status, trap := resolveBarrier(cta, progress)
+		if trap != nil {
+			return trap
+		}
+		if status == ctaFinished {
+			return nil
+		}
+	}
+}

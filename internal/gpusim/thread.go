@@ -45,6 +45,11 @@ type exec struct {
 	// addrFlipBit, when >= 0, corrupts the next effective-address
 	// computation (InjectMemAddr); consumed by address().
 	addrFlipBit int
+	// plan is the compiled execution plan; nil when Launch.Interpret
+	// selected the reference interpreter.
+	plan *execPlan
+	// warpActive is runWarpBatch's reused active-lane scratch.
+	warpActive []*threadState
 }
 
 // readReg returns the raw 32-bit value of a register for thread th.

@@ -172,6 +172,11 @@ type Program struct {
 	// PC (-1 for non-branches). Built by Validate so the interpreter's branch
 	// dispatch avoids a label-map lookup per dynamic branch.
 	braPC []int32
+	// straight caches, per static PC, the length of the maximal run of
+	// Sequential instructions starting there (0 for control instructions).
+	// Built by Validate; the gpusim compiled dispatcher uses it to execute
+	// straight-line runs without re-entering its scheduler.
+	straight []int32
 }
 
 // TargetPC resolves a branch label, reporting whether it exists.
@@ -191,6 +196,25 @@ func (p *Program) BranchPC(pc int) (int, bool) {
 		return 0, false
 	}
 	return p.TargetPC(p.Instrs[pc].Target)
+}
+
+// StraightLen reports the length of the maximal run of Sequential
+// instructions starting at static PC pc: how many instructions execution
+// can retire back-to-back from pc before reaching one that may branch,
+// park, or retire the thread. On programs that passed Validate this is an
+// array read; otherwise it scans forward.
+func (p *Program) StraightLen(pc int) int {
+	if pc < 0 || pc >= len(p.Instrs) {
+		return 0
+	}
+	if p.straight != nil {
+		return int(p.straight[pc])
+	}
+	n := 0
+	for i := pc; i < len(p.Instrs) && p.Instrs[i].Op.Sequential(); i++ {
+		n++
+	}
+	return n
 }
 
 // String disassembles the whole program, one instruction per line.
@@ -238,6 +262,17 @@ func (p *Program) Validate() error {
 		if in := &p.Instrs[i]; in.Op == OpBra || in.Op == OpSsy {
 			p.braPC[i] = int32(p.Labels[in.Target])
 		}
+	}
+	// ... and the straight-run lengths for StraightLen.
+	p.straight = make([]int32, len(p.Instrs))
+	run := int32(0)
+	for i := len(p.Instrs) - 1; i >= 0; i-- {
+		if p.Instrs[i].Op.Sequential() {
+			run++
+		} else {
+			run = 0
+		}
+		p.straight[i] = run
 	}
 	return nil
 }

@@ -247,6 +247,60 @@ func TestProgramValidate(t *testing.T) {
 	}
 }
 
+func TestOpcodeSequential(t *testing.T) {
+	// Control transfers and scheduling points end a straight-line run;
+	// everything else — including ssy and nop, which IsControl lists but
+	// which fall through — is sequential.
+	for _, op := range []Opcode{OpBra, OpBar, OpRet, OpRetp, OpExit} {
+		if op.Sequential() {
+			t.Errorf("%v.Sequential() = true, want false", op)
+		}
+	}
+	for _, op := range []Opcode{OpAdd, OpMov, OpLd, OpSt, OpSet, OpSelp, OpNop, OpSsy} {
+		if !op.Sequential() {
+			t.Errorf("%v.Sequential() = false, want true", op)
+		}
+	}
+}
+
+func TestStraightLen(t *testing.T) {
+	mk := func() *Program {
+		return &Program{
+			Name: "s",
+			Instrs: []Instruction{
+				{PC: 0, Op: OpAdd, Dst: R(1), Srcs: []Operand{R(1), R(2)}},
+				{PC: 1, Op: OpMov, Dst: R(2), Srcs: []Operand{R(1)}},
+				{PC: 2, Op: OpBra, Target: "end"},
+				{PC: 3, Op: OpSsy, Target: "end"},
+				{PC: 4, Op: OpSt, Dst: MemDirect(SpaceShared, 0), Srcs: []Operand{R(1)}},
+				{PC: 5, Op: OpExit, Label: "end"},
+			},
+			Labels: map[string]int{"end": 5},
+		}
+	}
+	want := []int{2, 1, 0, 2, 1, 0}
+	// The forward-scan fallback (unvalidated program) and the table built
+	// by Validate must agree.
+	cold := mk()
+	for pc, w := range want {
+		if got := cold.StraightLen(pc); got != w {
+			t.Errorf("unvalidated StraightLen(%d) = %d, want %d", pc, got, w)
+		}
+	}
+	p := mk()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for pc, w := range want {
+		if got := p.StraightLen(pc); got != w {
+			t.Errorf("validated StraightLen(%d) = %d, want %d", pc, got, w)
+		}
+	}
+	if p.StraightLen(-1) != 0 || p.StraightLen(len(p.Instrs)) != 0 {
+		t.Error("out-of-range StraightLen should be 0")
+	}
+}
+
 func TestInstructionString(t *testing.T) {
 	cases := []struct {
 		in   Instruction

@@ -97,6 +97,21 @@ func (o Opcode) IsControl() bool {
 	return false
 }
 
+// Sequential reports whether the opcode always falls through to the next
+// static instruction: it can neither branch, nor park the thread at a
+// barrier, nor retire it. (It may still trap.) Note this is not the
+// complement of IsControl: ssy only records reconvergence metadata and
+// falls through, so it is sequential. The gpusim compiled dispatcher
+// batches maximal runs of sequential instructions (Program.StraightLen)
+// without re-entering its scheduler.
+func (o Opcode) Sequential() bool {
+	switch o {
+	case OpBra, OpBar, OpRet, OpRetp, OpExit:
+		return false
+	}
+	return true
+}
+
 // Kind buckets opcodes the way the paper's CTA-level study selects target
 // instructions: memory access, arithmetic, logic, and special-function ops.
 type Kind uint8
