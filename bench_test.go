@@ -233,7 +233,7 @@ func benchCampaign(b *testing.B, fullRun bool, model fault.Model) {
 		}
 		sites = fault.Uniform(raw)
 	} else {
-		sites = fault.Uniform(space.Random(stats.NewRNG(7), 512))
+		sites = fault.Uniform(space.RandomModel(stats.NewRNG(7), 512, model))
 	}
 	opt := fault.CampaignOptions{Parallelism: 1}
 	b.ResetTimer()
@@ -252,6 +252,19 @@ func BenchmarkCampaignFullRunDouble(b *testing.B)    { benchCampaign(b, true, fa
 
 func BenchmarkCampaignCheckpointMemAddr(b *testing.B) { benchCampaign(b, false, fault.ModelMemAddr) }
 func BenchmarkCampaignFullRunMemAddr(b *testing.B)    { benchCampaign(b, true, fault.ModelMemAddr) }
+
+// The persistent-fault pair prices the two stuck-at regimes against each
+// other: stuck-pred keeps the fast-forward engine (prefix skip and early
+// exit intact, injected thread pinned to the careful tier forever), while
+// stuck-active-mask corrupts scheduler state and is forced to per-site
+// full runs (DESIGN.md §3.9). Both run on the checkpointed target — the
+// fallback benchmark measures exactly what the forced degradation costs.
+func BenchmarkCampaignStuckAtCheckpoint(b *testing.B) {
+	benchCampaign(b, false, fault.ModelStuckPred)
+}
+func BenchmarkCampaignStuckAtFallback(b *testing.B) {
+	benchCampaign(b, false, fault.ModelStuckActiveMask)
+}
 
 // intraBenchTarget builds a synthetic long-loop kernel for the intra-CTA
 // resume benchmarks: 4 CTAs x 16 threads, each thread spinning a 160-iteration

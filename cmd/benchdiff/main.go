@@ -20,6 +20,18 @@
 // and GC jitter at smoke-mode sample counts — interleaved reruns show the
 // medians unchanged — so gating them produces flaky CI, not protection.
 // Anything slow enough to measure reliably stays gated.
+//
+// -drift-correct (default on) makes the gate robust to whole-machine speed
+// drift between the two recordings: on shared or single-vCPU hosts the
+// same tree can measure tens of percent slower wholesale when a co-tenant
+// is busy, which would fail every benchmark at once while a genuinely
+// regressed one hides in the crowd. The correction divides each
+// benchmark's old->new ratio by the suite's median ratio (computed over
+// benchmarks above the noise floor) before gating, so a uniform slowdown
+// cancels out and only benchmarks that slowed down relative to the rest
+// of the suite can fail. The raw delta is still reported next to the
+// corrected one, and the drift factor is printed so a wholesale slowdown
+// stays visible even though it no longer flakes the gate.
 package main
 
 import (
@@ -35,9 +47,10 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 25, "allowed slowdown in percent before failing")
 	allowMissing := flag.Bool("allow-missing", false, "pass (with a note) when the OLD baseline file does not exist")
 	minTimeMS := flag.Float64("min-time-ms", 0, "noise floor: benchmarks under this many ms in both files never fail the gate")
+	driftCorrect := flag.Bool("drift-correct", true, "divide per-benchmark ratios by the suite median ratio, cancelling whole-machine speed drift")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] [-allow-missing] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] [-allow-missing] [-drift-correct] OLD.json NEW.json")
 		os.Exit(2)
 	}
 	oldRes, err := load(flag.Arg(0))
@@ -55,6 +68,30 @@ func main() {
 	}
 	sort.Strings(names)
 
+	// Median old->new ratio over the reliably-measurable shared benchmarks:
+	// the suite-wide machine-speed drift between the two recordings. At
+	// least three such benchmarks are required — a median of one or two is
+	// just that benchmark, and correcting by it would blind the gate.
+	drift := 1.0
+	if *driftCorrect {
+		var ratios []float64
+		for _, name := range names {
+			prev, cur := oldRes[name], newRes[name]
+			if prev > 0 && cur > 0 && prev >= *minTimeMS*1e6 && cur >= *minTimeMS*1e6 {
+				ratios = append(ratios, cur/prev)
+			}
+		}
+		if len(ratios) >= 3 {
+			sort.Float64s(ratios)
+			drift = ratios[len(ratios)/2]
+			if len(ratios)%2 == 0 {
+				drift = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+			}
+			fmt.Printf("benchdiff: suite drift %+.1f%% (median of %d ratios); gating relative to it\n",
+				100*(drift-1), len(ratios))
+		}
+	}
+
 	regressions := 0
 	for _, name := range names {
 		prev := oldRes[name]
@@ -67,15 +104,20 @@ func main() {
 			continue
 		}
 		delta := 100 * (cur - prev) / prev
-		if delta > *maxRegress && prev < *minTimeMS*1e6 && cur < *minTimeMS*1e6 {
-			fmt.Printf("noisy    %-36s %s -> %s (%+.1f%%, under %.0fms floor)\n",
-				name, ms(prev), ms(cur), delta, *minTimeMS)
-		} else if delta > *maxRegress {
+		gated := 100 * (cur/(prev*drift) - 1)
+		note := ""
+		if drift != 1.0 {
+			note = fmt.Sprintf(", %+.1f%% raw", delta)
+		}
+		if gated > *maxRegress && prev < *minTimeMS*1e6 && cur < *minTimeMS*1e6 {
+			fmt.Printf("noisy    %-36s %s -> %s (%+.1f%%%s, under %.0fms floor)\n",
+				name, ms(prev), ms(cur), gated, note, *minTimeMS)
+		} else if gated > *maxRegress {
 			regressions++
-			fmt.Printf("REGRESS  %-36s %s -> %s (%+.1f%%, limit %+.1f%%)\n",
-				name, ms(prev), ms(cur), delta, *maxRegress)
+			fmt.Printf("REGRESS  %-36s %s -> %s (%+.1f%%%s, limit %+.1f%%)\n",
+				name, ms(prev), ms(cur), gated, note, *maxRegress)
 		} else {
-			fmt.Printf("ok       %-36s %s -> %s (%+.1f%%)\n", name, ms(prev), ms(cur), delta)
+			fmt.Printf("ok       %-36s %s -> %s (%+.1f%%%s)\n", name, ms(prev), ms(cur), gated, note)
 		}
 	}
 	added := make([]string, 0)

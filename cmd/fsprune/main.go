@@ -11,6 +11,7 @@
 //	fsprune -kernel "HotSpot K1" -action profile -scale paper
 //	fsprune -kernel "GEMM K1" -action campaign -journal gemm.journal
 //	fsprune -kernel "GEMM K1" -action campaign -journal s0.journal -shard 0/2
+//	fsprune -kernel "GEMM K1" -action campaign -model stuck-pred -stats
 //
 // A campaign with -journal survives interruption: SIGINT/SIGTERM (or a
 // crash) leaves every completed site on disk, and rerunning the same command
@@ -44,6 +45,7 @@ func main() {
 	action := flag.String("action", "estimate", "profile | sites | plan | estimate | baseline | campaign")
 	scale := flag.String("scale", "small", "kernel scale: small or paper")
 	baseline := flag.Int("baseline", 3000, "baseline campaign size")
+	modelName := flag.String("model", "dest-value", "fault model for -action campaign: "+fault.ModelNames())
 	seed := flag.Int64("seed", 1, "random seed")
 	par := flag.Int("par", 0, "campaign parallelism (0 = GOMAXPROCS)")
 	loopIters := flag.Int("loop-iters", 0, "sampled loop iterations (0 = default, <0 = disable)")
@@ -95,6 +97,22 @@ func main() {
 	}
 	if (*journalPath != "" || *shardSpec != "") && *action != "campaign" {
 		usageError("-journal and -shard apply only to -action campaign")
+	}
+	model, err := fault.ParseModel(*modelName)
+	if err != nil {
+		usageError("%v", err)
+	}
+	if model != fault.ModelDestValue {
+		// The pruning pipeline (plan/estimate/baseline) is the paper's
+		// dest-value methodology; alternate models run plain campaigns.
+		if *action != "campaign" {
+			usageError("-model %s applies only to -action campaign (the pruning pipeline is defined over dest-value sites)", model)
+		}
+		// Bit-sampling subsamples destination-register bit positions, which
+		// mem-addr and stuck-at sites do not have.
+		if explicit["bits"] || explicit["bit-samples"] {
+			usageError("-bit-samples subsamples destination-register bits; it cannot be combined with -model %s", model)
+		}
 	}
 
 	// pprof profiles cover everything from here on and are flushed when main
@@ -261,20 +279,21 @@ func main() {
 	case "campaign":
 		// A fixed-size uniform random campaign — the durable workhorse.
 		// The site list derives deterministically from (kernel, scale,
-		// seed, size), which is exactly what the journal fingerprint pins.
+		// seed, size, model), which is exactly what the journal fingerprint
+		// pins.
 		rng := stats.NewRNG(*seed).Split("baseline")
-		sites := fault.Uniform(space.Random(rng, *baseline))
+		sites := fault.Uniform(space.RandomModel(rng, *baseline, model))
 		opt := campaign()
 		opt.Shard = shard
 
 		var j *journal.Journal
 		if *journalPath != "" {
-			fp := inst.Target.JournalFingerprint(fault.ModelDestValue, len(sites), sc.String(), *seed, shard)
+			fp := inst.Target.JournalFingerprint(model, len(sites), sc.String(), *seed, shard)
 			j, err = journal.Open(*journalPath, fp)
 			fatal(err)
 			opt.Journal = j
 		}
-		res, err := fault.Run(inst.Target, sites, opt)
+		res, err := fault.RunModel(inst.Target, sites, model, opt)
 		if errors.Is(err, fault.ErrInterrupted) {
 			if j != nil {
 				if cerr := j.Close(); cerr != nil {
@@ -300,6 +319,7 @@ func main() {
 				Kernel    string          `json:"kernel"`
 				Scale     string          `json:"scale"`
 				Seed      int64           `json:"seed"`
+				Model     string          `json:"model"`
 				Shard     string          `json:"shard,omitempty"`
 				Sites     int             `json:"sites"`
 				Completed int             `json:"completed"`
@@ -309,6 +329,7 @@ func main() {
 				Kernel:    spec.Meta.Name(),
 				Scale:     sc.String(),
 				Seed:      *seed,
+				Model:     model.String(),
 				Shard:     *shardSpec,
 				Sites:     len(sites),
 				Completed: res.Completed,
@@ -319,10 +340,10 @@ func main() {
 			return
 		}
 		if *shardSpec != "" {
-			fmt.Printf("%s (%s): shard %s, %d of %d sites\n",
-				spec.Meta.Name(), sc, *shardSpec, res.Completed, len(sites))
+			fmt.Printf("%s (%s): model %s, shard %s, %d of %d sites\n",
+				spec.Meta.Name(), sc, model, *shardSpec, res.Completed, len(sites))
 		} else {
-			fmt.Printf("%s (%s): %d sites\n", spec.Meta.Name(), sc, res.Completed)
+			fmt.Printf("%s (%s): model %s, %d sites\n", spec.Meta.Name(), sc, model, res.Completed)
 		}
 		fmt.Printf("profile: %s\n", res.Dist)
 		if n := len(res.Quarantined); n > 0 {

@@ -7,6 +7,7 @@
 //	gpurun -kernel "GEMM K1" -disasm
 //	gpurun -kernel "2DCONV K1" -trace 12 -n 30
 //	gpurun -kernel "MVT K1" -inject "0:100:5"
+//	gpurun -kernel "MVT K1" -inject "0:100:1" -model stuck-pred
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	traceThread := flag.Int("trace", -1, "dump the dynamic instruction trace of one thread")
 	traceLen := flag.Int("n", 50, "trace length cap")
 	inject := flag.String("inject", "", "inject one fault, format thread:dyninst:bit")
+	modelName := flag.String("model", "dest-value", "fault model for -inject: "+fault.ModelNames())
 	warp := flag.Int("warp", 0, "SIMT lockstep warp width (0 = thread-serial scheduling)")
 	intraStride := flag.Int("intra-stride", 0, "dynamic instructions between intra-CTA warp snapshots for -inject (0 = auto-tune, <0 = disable)")
 	showStats := flag.Bool("stats", false, "report prepared-target cache stats after the run")
@@ -132,9 +134,14 @@ func main() {
 		if _, err := fmt.Sscanf(*inject, "%d:%d:%d", &site.Thread, &site.DynInst, &site.Bit); err != nil {
 			fatal(fmt.Errorf("bad -inject %q: %v", *inject, err))
 		}
-		outcome, err := inst.Target.RunSite(site)
+		model, err := fault.ParseModel(*modelName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		outcome, err := inst.Target.RunSiteModel(site, model)
 		fatal(err)
-		fmt.Printf("injection %v -> %s\n", site, outcome)
+		fmt.Printf("injection %v (%s) -> %s\n", site, model, outcome)
 	}
 
 	if *showStats {

@@ -3,9 +3,12 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/gpusim"
 	"repro/internal/isa"
+	"repro/internal/stats"
 )
 
 // Model selects the fault model for an injection experiment. The paper's
@@ -25,18 +28,114 @@ const (
 	// ModelMemAddr flips one bit of the effective address computed by a
 	// memory instruction (an LSU address-path fault).
 	ModelMemAddr
+	// ModelDestByte flips the whole destination byte containing the site
+	// bit — the spatially contiguous multi-bit pattern of the SDC-anatomy
+	// literature.
+	ModelDestByte
+	// ModelLaneCorrelated flips the site bit of the destination register in
+	// every thread of the injected thread's lane group — the same-bit-
+	// across-lanes pattern of a datapath fault shared by a SIMT lane group.
+	ModelLaneCorrelated
+	// ModelStuckPred holds one predicate-register flag bit of the injected
+	// thread at a stuck value from the site's dynamic instruction to the
+	// end of the run. Site.Bit packs (stuck value, predicate register,
+	// flag bit); see StuckBits.
+	ModelStuckPred
+	// ModelStuckActiveMask holds the injected thread's active-mask lane at
+	// the stuck value Site.Bit&1: stuck at 0 freezes the lane, stuck at 1
+	// keeps it active through barriers.
+	ModelStuckActiveMask
+	// ModelStuckBarrier holds the injected thread's barrier-arrival state
+	// at the stuck value Site.Bit&1: stuck at 1 releases barriers without
+	// it, stuck at 0 deadlocks any barrier that includes it.
+	ModelStuckBarrier
 	NumModels
 )
 
-// String names the model.
+// String names the model. The names are the CLI -model vocabulary and the
+// journal fingerprint's model field.
 func (m Model) String() string {
 	switch m {
 	case ModelDestDouble:
 		return "dest-double"
 	case ModelMemAddr:
 		return "mem-addr"
+	case ModelDestByte:
+		return "dest-byte"
+	case ModelLaneCorrelated:
+		return "lane-correlated"
+	case ModelStuckPred:
+		return "stuck-pred"
+	case ModelStuckActiveMask:
+		return "stuck-active-mask"
+	case ModelStuckBarrier:
+		return "stuck-barrier"
 	}
 	return "dest-value"
+}
+
+// ModelNames lists every model name, comma-separated — for usage errors.
+func ModelNames() string {
+	var b strings.Builder
+	for m := Model(0); m < NumModels; m++ {
+		if m > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(m.String())
+	}
+	return b.String()
+}
+
+// ParseModel maps a CLI/JSON model name back to the Model constant.
+func ParseModel(s string) (Model, error) {
+	for m := Model(0); m < NumModels; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown fault model %q (known: %s)", s, ModelNames())
+}
+
+// Persistent reports whether the model is a stuck-at fault that persists
+// from its activation site to the end of the run.
+func (m Model) Persistent() bool {
+	switch m {
+	case ModelStuckPred, ModelStuckActiveMask, ModelStuckBarrier:
+		return true
+	}
+	return false
+}
+
+// FastForwardSound reports whether sites of this model may run on the
+// checkpointed fast-forward engine. Transient models and ModelStuckPred are
+// covered by the soundness arguments of DESIGN.md §3.2/§3.5/§3.9 — the
+// fault state is confined to the injected thread's private registers, so
+// resuming from a golden snapshot taken before the activation point
+// reproduces the full run exactly. ModelStuckActiveMask and
+// ModelStuckBarrier corrupt shared scheduler and synchronization state,
+// which the §3.9 argument deliberately does not cover; the campaign engine
+// degrades those sites to per-site full runs (CampaignStats.
+// FullRunFallbacks) instead of risking a silently unsound fast-forward.
+func (m Model) FastForwardSound() bool {
+	switch m {
+	case ModelStuckActiveMask, ModelStuckBarrier:
+		return false
+	}
+	return true
+}
+
+// StuckBits is the size of a persistent model's Site.Bit encoding space (0
+// for transient models): stuck value × location. ModelStuckPred enumerates
+// both stuck values of every flag bit of every predicate register; the
+// mask and barrier models only their two stuck values.
+func (m Model) StuckBits() int {
+	switch m {
+	case ModelStuckPred:
+		return 2 * isa.NumPreds * isa.PredBits
+	case ModelStuckActiveMask, ModelStuckBarrier:
+		return 2
+	}
+	return 0
 }
 
 // kind maps the model to the simulator's injection kind.
@@ -46,6 +145,16 @@ func (m Model) kind() gpusim.InjectKind {
 		return gpusim.InjectDestDouble
 	case ModelMemAddr:
 		return gpusim.InjectMemAddr
+	case ModelDestByte:
+		return gpusim.InjectDestByte
+	case ModelLaneCorrelated:
+		return gpusim.InjectLaneCorrelated
+	case ModelStuckPred:
+		return gpusim.InjectStuckPred
+	case ModelStuckActiveMask:
+		return gpusim.InjectStuckActiveMask
+	case ModelStuckBarrier:
+		return gpusim.InjectStuckBarrier
 	}
 	return gpusim.InjectDestValue
 }
@@ -84,7 +193,7 @@ func (t *Target) validateSiteModel(site Site, model Model) error {
 		return fmt.Errorf("fault: dyn inst %d out of range for thread %d", site.DynInst, site.Thread)
 	}
 	switch model {
-	case ModelDestDouble:
+	case ModelDestDouble, ModelDestByte, ModelLaneCorrelated:
 		bits := t.profile.SiteBitsOf(site.Thread, site.DynInst)
 		if bits == 0 {
 			return ErrNotASite
@@ -99,6 +208,14 @@ func (t *Target) validateSiteModel(site Site, model Model) error {
 		}
 		if site.Bit < 0 || site.Bit >= 32 {
 			return fmt.Errorf("fault: address bit %d out of range", site.Bit)
+		}
+	case ModelStuckPred, ModelStuckActiveMask, ModelStuckBarrier:
+		// Persistent sites need no destination: any retired dynamic
+		// instruction is a valid activation point. Bit encodes the stuck
+		// location/value per StuckBits.
+		if site.Bit < 0 || site.Bit >= model.StuckBits() {
+			return fmt.Errorf("fault: stuck-at encoding %d out of range (%d encodings for %s)",
+				site.Bit, model.StuckBits(), model)
 		}
 	default:
 		return fmt.Errorf("fault: unknown model %d", model)
@@ -155,6 +272,90 @@ func (s *Space) MemAddrSites(t int, keep func(dyn int64) bool) []Site {
 		}
 	}
 	return sites
+}
+
+// StuckSites enumerates the persistent fault sites of one thread: every
+// stuck-at encoding at every retired dynamic instruction (the activation
+// point), optionally filtered by keep.
+func (s *Space) StuckSites(t int, model Model, keep func(dyn int64) bool) []Site {
+	w := model.StuckBits()
+	if w == 0 {
+		panic(fmt.Sprintf("fault: StuckSites on transient model %s", model))
+	}
+	tp := &s.prof.Threads[t]
+	sites := make([]Site, 0, tp.ICnt*int64(w))
+	for i := int64(0); i < tp.ICnt; i++ {
+		if keep != nil && !keep(i) {
+			continue
+		}
+		for b := 0; b < w; b++ {
+			sites = append(sites, Site{Thread: t, DynInst: i, Bit: b})
+		}
+	}
+	return sites
+}
+
+// RandomModel draws n sites uniformly at random from the model's own site
+// space. Destination-register models share the dest-value space; mem-addr
+// draws over (memory instruction × address bit); persistent models over
+// (retired dynamic instruction × stuck-at encoding).
+func (s *Space) RandomModel(rng *stats.RNG, n int, model Model) []Site {
+	switch {
+	case model.Persistent():
+		w := int64(model.StuckBits())
+		cum := make([]int64, len(s.prof.Threads)+1)
+		for t := range s.prof.Threads {
+			cum[t+1] = cum[t] + s.prof.Threads[t].ICnt*w
+		}
+		total := cum[len(cum)-1]
+		sites := make([]Site, n)
+		for i := range sites {
+			idx := rng.Int63n(total)
+			t := sort.Search(len(cum)-1, func(j int) bool { return cum[j+1] > idx })
+			rem := idx - cum[t]
+			sites[i] = Site{Thread: t, DynInst: rem / w, Bit: int(rem % w)}
+		}
+		return sites
+	case model == ModelMemAddr:
+		cum := make([]int64, len(s.prof.Threads)+1)
+		for t := range s.prof.Threads {
+			tp := &s.prof.Threads[t]
+			var mem int64
+			for i := int64(0); i < tp.ICnt; i++ {
+				if touchesMemory(&s.prof.Prog.Instrs[gpusim.PC(tp.PCs[i])]) {
+					mem++
+				}
+			}
+			cum[t+1] = cum[t] + mem*32
+		}
+		total := cum[len(cum)-1]
+		if total == 0 {
+			panic("fault: RandomModel(mem-addr) on a kernel with no memory instructions")
+		}
+		sites := make([]Site, n)
+		for i := range sites {
+			idx := rng.Int63n(total)
+			t := sort.Search(len(cum)-1, func(j int) bool { return cum[j+1] > idx })
+			rem := idx - cum[t]
+			k, bit := rem/32, int(rem%32)
+			tp := &s.prof.Threads[t]
+			for d := int64(0); d < tp.ICnt; d++ {
+				if !touchesMemory(&s.prof.Prog.Instrs[gpusim.PC(tp.PCs[d])]) {
+					continue
+				}
+				if k == 0 {
+					sites[i] = Site{Thread: t, DynInst: d, Bit: bit}
+					break
+				}
+				k--
+			}
+		}
+		return sites
+	default:
+		// Destination-register models index the same per-destination-bit
+		// space as the baseline.
+		return s.Random(rng, n)
+	}
 }
 
 // RunModel executes a campaign of weighted sites under one fault model,

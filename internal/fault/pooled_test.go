@@ -131,7 +131,9 @@ func TestPooledMatchesFreshClone(t *testing.T) {
 			}
 
 			for model := fault.Model(0); model < fault.NumModels; model++ {
-				if model == fault.ModelMemAddr {
+				sites := sites
+				switch {
+				case model == fault.ModelMemAddr:
 					// Random destination sites are not valid mem-addr
 					// sites; build a matching population instead.
 					var mem []fault.WeightedSite
@@ -145,6 +147,16 @@ func TestPooledMatchesFreshClone(t *testing.T) {
 						continue
 					}
 					sites = mem
+				case model.Persistent():
+					// Persistent models encode (stuck value, location) in Bit;
+					// fold the destination-site bits into that range so the
+					// special crash/hang sites stay in the mix.
+					folded := make([]fault.WeightedSite, len(sites))
+					for i, ws := range sites {
+						ws.Site.Bit %= model.StuckBits()
+						folded[i] = ws
+					}
+					sites = folded
 				}
 				want := referenceOutcomes(t, tg, sites, model)
 				for _, par := range []int{1, 4} {

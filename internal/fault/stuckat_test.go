@@ -1,0 +1,368 @@
+package fault_test
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/journal"
+	"repro/internal/kernels"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// persistentModels are the stuck-at fault models under test.
+var persistentModels = []fault.Model{
+	fault.ModelStuckPred, fault.ModelStuckActiveMask, fault.ModelStuckBarrier,
+}
+
+// stuckSample builds a deterministic persistent-site population: the full
+// stuck-at spaces of two threads in different CTAs (so activation points
+// cover barrier arrivals, memory traffic and retirement) plus a random
+// sample across the rest of the grid.
+func stuckSample(tg *fault.Target, model fault.Model, n int) []fault.WeightedSite {
+	space := fault.NewSpace(tg.Profile())
+	var sites []fault.Site
+	sites = append(sites, space.StuckSites(0, model, nil)...)
+	sites = append(sites, space.StuckSites(tg.Threads()-1, model, nil)...)
+	sites = append(sites, space.RandomModel(stats.NewRNG(131), n, model)...)
+	return fault.Uniform(sites)
+}
+
+// stuckReference computes per-site outcomes on the reference engine: the
+// interpreter, full runs from the pristine image, a fresh device per site.
+func stuckReference(t *testing.T, ref *fault.Target, sites []fault.WeightedSite, model fault.Model) []fault.Outcome {
+	t.Helper()
+	want := make([]fault.Outcome, len(sites))
+	seen := map[fault.Outcome]int{}
+	for i, ws := range sites {
+		o, err := ref.RunSiteModel(ws.Site, model)
+		if err != nil {
+			t.Fatalf("reference %v: %v", ws.Site, err)
+		}
+		want[i] = o
+		seen[o]++
+	}
+	if len(seen) < 2 {
+		t.Fatalf("model %s: degenerate outcome space %v — the sample exercises nothing", model, seen)
+	}
+	return want
+}
+
+// TestStuckAtMatchesFullRunExhaustive is the central equivalence property of
+// the persistent-fault subsystem: on the adversarial chainhang kernel
+// (cross-CTA global dependence, predicate-guarded barrier split), every
+// stuck-at site must give identical outcomes across {interpreter, compiled}
+// × {checkpointed + intra-CTA resume, full run} × {serial, warp} — with the
+// checkpointed engine transparently degrading fast-forward-unsound models to
+// per-site full runs (DESIGN.md §3.9), which the stats must surface.
+func TestStuckAtMatchesFullRunExhaustive(t *testing.T) {
+	for _, warp := range []int{0, 4} {
+		warp := warp
+		name := "serial"
+		if warp > 0 {
+			name = "warp4"
+		}
+		t.Run(name, func(t *testing.T) {
+			ref := chainHangTarget(t)
+			ref.WarpSize = warp
+			ref.FullRun = true
+			ref.Interpret = true
+			if err := ref.Prepare(); err != nil {
+				t.Fatal(err)
+			}
+			for _, model := range persistentModels {
+				model := model
+				t.Run(model.String(), func(t *testing.T) {
+					sites := stuckSample(ref, model, 150)
+					want := stuckReference(t, ref, sites, model)
+
+					type variant struct {
+						name      string
+						interpret bool
+						fullRun   bool
+					}
+					variants := []variant{
+						{name: "compiled-fullrun", fullRun: true},
+						{name: "compiled-ckpt"},
+						{name: "interp-ckpt", interpret: true},
+					}
+					for _, v := range variants {
+						tg := chainHangTarget(t)
+						tg.WarpSize = warp
+						tg.Interpret = v.interpret
+						tg.FullRun = v.fullRun
+						if !v.fullRun {
+							tg.CheckpointStride = 1
+							tg.IntraStride = 2
+						}
+						if err := tg.Prepare(); err != nil {
+							t.Fatal(err)
+						}
+						res, err := fault.RunModel(tg, sites, model, fault.CampaignOptions{
+							Parallelism: 4, KeepPerSite: true,
+						})
+						if err != nil {
+							t.Fatalf("%s: %v", v.name, err)
+						}
+						for i := range want {
+							if res.PerSite[i] != want[i] {
+								t.Fatalf("%s: site %v gave %v, reference full run gave %v",
+									v.name, sites[i].Site, res.PerSite[i], want[i])
+							}
+						}
+						st := res.Stats
+						switch {
+						case v.fullRun:
+							// No checkpoint store exists, so nothing to fall
+							// back from.
+							if st.FullRunFallbacks != 0 {
+								t.Fatalf("%s: %d fallbacks without a checkpoint store", v.name, st.FullRunFallbacks)
+							}
+						case model.FastForwardSound():
+							// Stuck-pred rides the fast-forward engine like a
+							// transient fault.
+							if st.FullRunFallbacks != 0 {
+								t.Fatalf("%s: sound model %s fell back %d times", v.name, model, st.FullRunFallbacks)
+							}
+							if st.CTAsSkipped == 0 {
+								t.Fatalf("%s: fast-forward never skipped a CTA for %s", v.name, model)
+							}
+						default:
+							// Mask/barrier faults force per-site full runs,
+							// one fallback per executed site.
+							if st.FullRunFallbacks != int64(len(sites)) {
+								t.Fatalf("%s: %s fell back %d times, want %d (one per site)",
+									v.name, model, st.FullRunFallbacks, len(sites))
+							}
+							if st.CTAsSkipped != 0 || st.EarlyExits != 0 || st.IntraSkips != 0 {
+								t.Fatalf("%s: %s still fast-forwarded: %+v", v.name, model, st)
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestStuckAtGaussianEquivalence extends the equivalence matrix to the
+// paper's cross-CTA-dependency kernels: Gaussian Fan1 and Fan2 at small
+// geometry, persistent sites sampled from each model's own space, compiled
+// checkpointed and full-run campaigns against the interpreter full-run
+// reference, under both schedulers.
+func TestStuckAtGaussianEquivalence(t *testing.T) {
+	for _, kname := range []string{"Gaussian K1", "Gaussian K2"} {
+		kname := kname
+		t.Run(kname, func(t *testing.T) {
+			spec, ok := kernels.ByName(kname)
+			if !ok {
+				t.Fatalf("kernel %q missing", kname)
+			}
+			for _, warp := range []int{0, 4} {
+				rinst, err := spec.Build(kernels.ScaleSmall)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := rinst.Target
+				ref.WarpSize = warp
+				ref.FullRun = true
+				ref.Interpret = true
+				if err := ref.Prepare(); err != nil {
+					t.Fatal(err)
+				}
+				for _, model := range persistentModels {
+					space := fault.NewSpace(ref.Profile())
+					sites := fault.Uniform(space.RandomModel(stats.NewRNG(173), 80, model))
+					want := make([]fault.Outcome, len(sites))
+					for i, ws := range sites {
+						o, err := ref.RunSiteModel(ws.Site, model)
+						if err != nil {
+							t.Fatalf("reference %v: %v", ws.Site, err)
+						}
+						want[i] = o
+					}
+					for _, fullRun := range []bool{false, true} {
+						inst, err := spec.Build(kernels.ScaleSmall)
+						if err != nil {
+							t.Fatal(err)
+						}
+						tg := inst.Target
+						tg.WarpSize = warp
+						tg.FullRun = fullRun
+						if !fullRun {
+							tg.IntraStride = 2
+						}
+						if err := tg.Prepare(); err != nil {
+							t.Fatal(err)
+						}
+						res, err := fault.RunModel(tg, sites, model, fault.CampaignOptions{
+							Parallelism: 4, KeepPerSite: true,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i := range want {
+							if res.PerSite[i] != want[i] {
+								t.Fatalf("warp %d model %s fullrun %v: site %v gave %v, reference %v",
+									warp, model, fullRun, sites[i].Site, res.PerSite[i], want[i])
+							}
+						}
+						if !fullRun && !model.FastForwardSound() &&
+							res.Stats.FullRunFallbacks != int64(len(sites)) {
+							t.Fatalf("warp %d model %s: %d fallbacks, want %d",
+								warp, model, res.Stats.FullRunFallbacks, len(sites))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStuckAtCampaignSmoke pins the observability chain of the fallback
+// path end to end: the counter must reach CampaignStats.String, the report
+// JSON (full_run_fallbacks), the journal records (fb), and fsmerge's merged
+// document — and stay zero for a fast-forward-sound persistent model.
+func TestStuckAtCampaignSmoke(t *testing.T) {
+	run := func(model fault.Model, jpath string) *fault.CampaignResult {
+		tg := chainHangTarget(t)
+		tg.CheckpointStride = 1
+		if err := tg.Prepare(); err != nil {
+			t.Fatal(err)
+		}
+		space := fault.NewSpace(tg.Profile())
+		sites := fault.Uniform(space.RandomModel(stats.NewRNG(7), 40, model))
+		opt := fault.CampaignOptions{Parallelism: 2, KeepPerSite: true}
+		if jpath != "" {
+			j, err := journal.Open(jpath, tg.JournalFingerprint(model, len(sites), "small", 7, fault.Shard{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j.Close()
+			opt.Journal = j
+		}
+		res, err := fault.RunModel(tg, sites, model, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	jpath := filepath.Join(t.TempDir(), "mask.journal")
+	res := run(fault.ModelStuckActiveMask, jpath)
+	if res.Stats.FullRunFallbacks != 40 {
+		t.Fatalf("stuck-active-mask fallbacks = %d, want 40", res.Stats.FullRunFallbacks)
+	}
+	if !strings.Contains(res.Stats.String(), "40 full-run fallbacks") {
+		t.Fatalf("stats string hides the fallbacks: %s", res.Stats)
+	}
+	doc, err := json.Marshal(report.NewCampaign(res.Stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(doc), `"full_run_fallbacks":40`) {
+		t.Fatalf("report JSON hides the fallbacks: %s", doc)
+	}
+
+	// The journal's per-record fb flags must aggregate back to the same
+	// count through the fsmerge path.
+	fp, recs, err := journal.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := report.NewMerged(fp, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Campaign.FullRunFallbacks != 40 {
+		t.Fatalf("merged report fallbacks = %d, want 40", merged.Campaign.FullRunFallbacks)
+	}
+	if merged.Model != fault.ModelStuckActiveMask.String() {
+		t.Fatalf("merged report model = %q", merged.Model)
+	}
+
+	// A sound persistent model keeps the fast-forward engine and the field
+	// disappears from the JSON (omitempty).
+	pres := run(fault.ModelStuckPred, "")
+	if pres.Stats.FullRunFallbacks != 0 {
+		t.Fatalf("stuck-pred fallbacks = %d, want 0", pres.Stats.FullRunFallbacks)
+	}
+	if pres.Stats.CTAsSkipped == 0 {
+		t.Fatal("stuck-pred campaign never fast-forwarded")
+	}
+	pdoc, err := json.Marshal(report.NewCampaign(pres.Stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(pdoc), "full_run_fallbacks") {
+		t.Fatalf("zero fallbacks still serialized: %s", pdoc)
+	}
+}
+
+// TestStuckSitesAndRandomModel pins the persistent site enumerators: every
+// enumerated or sampled site validates under its model, and the encodings
+// cover both stuck values.
+func TestStuckSitesAndRandomModel(t *testing.T) {
+	tg := chainHangTarget(t)
+	if err := tg.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	space := fault.NewSpace(tg.Profile())
+	for _, model := range persistentModels {
+		w := model.StuckBits()
+		icnt := tg.Profile().Threads[0].ICnt
+		sites := space.StuckSites(0, model, nil)
+		if int64(len(sites)) != icnt*int64(w) {
+			t.Fatalf("%s: %d sites for thread 0, want %d×%d", model, len(sites), icnt, w)
+		}
+		bits := map[int]bool{}
+		for _, s := range sites {
+			if _, err := tg.RunSiteModel(s, model); err != nil {
+				t.Fatalf("%s: enumerated site %v rejected: %v", model, s, err)
+			}
+			bits[s.Bit] = true
+			if len(bits) == w {
+				break // all encodings witnessed; no need to run the rest
+			}
+		}
+		if len(bits) != w {
+			t.Fatalf("%s: enumeration covered %d of %d encodings", model, len(bits), w)
+		}
+		for _, s := range space.RandomModel(stats.NewRNG(5), 64, model) {
+			if s.Bit < 0 || s.Bit >= w {
+				t.Fatalf("%s: sampled bit %d out of [0,%d)", model, s.Bit, w)
+			}
+			if s.DynInst < 0 || s.DynInst >= tg.Profile().Threads[s.Thread].ICnt {
+				t.Fatalf("%s: sampled dyn %d out of thread %d's trace", model, s.DynInst, s.Thread)
+			}
+		}
+	}
+	// Out-of-range stuck encodings are rejected up front.
+	if _, err := tg.RunSiteModel(fault.Site{Thread: 0, DynInst: 0, Bit: 2}, fault.ModelStuckBarrier); err == nil {
+		t.Fatal("stuck-barrier bit 2 accepted")
+	}
+	if _, err := tg.RunSiteModel(fault.Site{Thread: 0, DynInst: 0, Bit: 64}, fault.ModelStuckPred); err == nil {
+		t.Fatal("stuck-pred bit 64 accepted")
+	}
+}
+
+// TestParseModelRoundTrip: every model name round-trips through ParseModel,
+// and garbage is rejected with the name list in the error.
+func TestParseModelRoundTrip(t *testing.T) {
+	for m := fault.Model(0); m < fault.NumModels; m++ {
+		got, err := fault.ParseModel(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := fault.ParseModel("stuck-everything"); err == nil ||
+		!strings.Contains(err.Error(), "stuck-pred") {
+		t.Fatalf("bad model error = %v", err)
+	}
+	if n := strings.Count(fault.ModelNames(), ","); n != int(fault.NumModels)-1 {
+		t.Fatalf("ModelNames lists %d commas for %d models: %s", n, fault.NumModels, fault.ModelNames())
+	}
+}

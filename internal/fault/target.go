@@ -328,6 +328,10 @@ type runCost struct {
 	ctasSkipped  int64
 	earlyExit    bool
 	intraResumed bool
+	// fullRunFallback marks a site whose model is not fast-forward sound:
+	// the target had a checkpoint store but this run deliberately ignored
+	// it and re-executed from the pristine image (DESIGN.md §3.9).
+	fullRunFallback bool
 }
 
 // injectOn is the campaign hot path: one unchecked injection experiment on a
@@ -352,6 +356,13 @@ func (t *Target) injectOn(dev *gpusim.Device, site Site, model Model) (Outcome, 
 	}
 	launch := t.launch(inj, nil, t.watchdog)
 	ck, wck := t.ckpt, t.wck
+	if (ck != nil || wck != nil) && !model.FastForwardSound() {
+		// The model corrupts state the fast-forward soundness argument does
+		// not cover (DESIGN.md §3.9): degrade this site to a per-site full
+		// run rather than resume from a snapshot that may not reproduce it.
+		cost.fullRunFallback = true
+		ck, wck = nil, nil
+	}
 	if ck == nil && wck == nil {
 		dev.ResetFrom(t.Init)
 		res, err := gpusim.Execute(dev, launch)

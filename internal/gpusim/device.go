@@ -130,11 +130,18 @@ type Launch struct {
 // InjectKind selects the fault model applied at the injection point.
 type InjectKind uint8
 
-// Injection kinds. The paper's baseline model is InjectDestValue; the other
-// two reproduce the additional modes of SASSIFI-style injectors the paper
-// discusses in its related work: multi-bit value corruption (what SEC-DED
-// ECC cannot correct) and effective-address corruption in the load-store
-// unit.
+// Injection kinds. The paper's baseline model is InjectDestValue; the others
+// reproduce additional modes of SASSIFI-style injectors the paper discusses
+// in its related work — multi-bit value corruption (what SEC-DED ECC cannot
+// correct), effective-address corruption in the load-store unit, spatially
+// correlated multi-bit patterns — plus the persistent stuck-at faults in
+// parallelism-management state studied by the permanent-fault literature.
+//
+// Transient kinds fire once, at the retirement of dynamic instruction
+// Injection.DynInst of the injected thread. Persistent kinds (Persistent()
+// reports true) instead *activate* there and then hold their stuck value for
+// the remainder of the run; the fault state is bound to the injected thread
+// and dies with it.
 const (
 	// InjectDestValue flips one destination-register bit after writeback.
 	InjectDestValue InjectKind = iota
@@ -143,6 +150,27 @@ const (
 	// InjectMemAddr flips one bit of the effective address of the
 	// instruction's memory operand before the access executes.
 	InjectMemAddr
+	// InjectDestByte flips every bit of the destination-register byte
+	// containing Bit (the whole flag nibble for a predicate destination).
+	InjectDestByte
+	// InjectLaneCorrelated flips bit Bit of the instruction's destination
+	// register in every thread of the injected thread's lane group — the
+	// warp under SIMT scheduling, a 32-wide group otherwise.
+	InjectLaneCorrelated
+	// InjectStuckPred holds one predicate-register flag bit of the injected
+	// thread at a stuck value from the activation point on. Bit packs
+	// (stuck value, predicate register, flag bit); see persistState.
+	InjectStuckPred
+	// InjectStuckActiveMask holds the injected thread's active-mask lane at
+	// a stuck value (Bit&1): stuck at 0 freezes the lane (it is never
+	// scheduled again), stuck at 1 keeps it active through barriers (it
+	// never parks).
+	InjectStuckActiveMask
+	// InjectStuckBarrier holds the injected thread's barrier-arrival state
+	// at a stuck value (Bit&1): stuck at 1 makes it count as always
+	// arrived (barriers release without it), stuck at 0 makes its arrival
+	// never register (a barrier including it deadlocks).
+	InjectStuckBarrier
 )
 
 // String names the kind.
@@ -152,8 +180,25 @@ func (k InjectKind) String() string {
 		return "dest-double"
 	case InjectMemAddr:
 		return "mem-addr"
+	case InjectDestByte:
+		return "dest-byte"
+	case InjectLaneCorrelated:
+		return "lane-correlated"
+	case InjectStuckPred:
+		return "stuck-pred"
+	case InjectStuckActiveMask:
+		return "stuck-active-mask"
+	case InjectStuckBarrier:
+		return "stuck-barrier"
 	}
 	return "dest-value"
+}
+
+// Persistent reports whether the kind is a stuck-at fault that persists from
+// its activation point to the end of the run (as opposed to a transient
+// single-event upset at one retirement).
+func (k InjectKind) Persistent() bool {
+	return k == InjectStuckPred || k == InjectStuckActiveMask || k == InjectStuckBarrier
 }
 
 // Injection is a single fault to apply during execution at dynamic

@@ -215,7 +215,14 @@ func (e *exec) step(th *threadState, cta *ctaState) (blocked bool, trap *Trap) {
 		case InjectDestDouble:
 			e.flipRegBit(th, dreg, inj.Bit)
 			e.flipRegBit(th, dreg, inj.Bit+1)
+		case InjectDestByte:
+			e.flipRegByte(th, dreg, inj.Bit)
+		case InjectLaneCorrelated:
+			e.flipLaneGroup(th, cta, dreg, inj.Bit)
 		}
+	}
+	if e.persist != nil {
+		blocked = e.persistAfterStep(th, blocked)
 	}
 
 	th.pc = nextPC

@@ -155,6 +155,7 @@ func diffRun(t *testing.T, prog *isa.Program, warpSize int, inj *Injection, inte
 	if !interpret {
 		e.plan = planFor(prog)
 	}
+	e.persist = newPersistState(inj)
 	cta := &ctaState{shared: make([]byte, DefaultSharedBytes)}
 	for tx := 0; tx < launch.Block.X; tx++ {
 		cta.threads = append(cta.threads, &threadState{flat: tx, tid: Dim3{X: tx}})
@@ -186,12 +187,16 @@ func diffRun(t *testing.T, prog *isa.Program, warpSize int, inj *Injection, inte
 func TestCompiledMatchesInterpreterFuzz(t *testing.T) {
 	f := func(seed uint64, size uint8, injSel uint32) bool {
 		prog := fuzzProgram(t, seed, int(size%40)+1)
-		kinds := []InjectKind{InjectDestValue, InjectDestValue, InjectDestDouble, InjectMemAddr}
+		kinds := []InjectKind{
+			InjectDestValue, InjectDestValue, InjectDestDouble, InjectMemAddr,
+			InjectDestByte, InjectLaneCorrelated,
+			InjectStuckPred, InjectStuckActiveMask, InjectStuckBarrier,
+		}
 		inj := &Injection{
 			Thread:  int(injSel % 4),
 			DynInst: int64((injSel >> 2) % 64),
-			Bit:     int((injSel >> 8) % 32),
-			Kind:    kinds[(injSel>>13)%4],
+			Bit:     int((injSel >> 8) % 64),
+			Kind:    kinds[(injSel>>14)%uint32(len(kinds))],
 		}
 		for _, warp := range []int{0, 4} {
 			for _, in := range []*Injection{nil, inj} {

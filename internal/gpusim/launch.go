@@ -50,6 +50,7 @@ func Execute(dev *Device, launch *Launch) (*Result, error) {
 	if !launch.Interpret {
 		e.plan = planFor(launch.Prog)
 	}
+	e.persist = newPersistState(launch.Inject)
 
 	nCTA := launch.Grid.Count()
 	if launch.FirstCTA < 0 || launch.FirstCTA >= nCTA {
@@ -145,62 +146,16 @@ const (
 	ctaReleased                      // a barrier completed and was released
 )
 
-// resolveBarrier releases the waiters once every non-exited thread has
-// arrived at the same barrier id, and detects completion and deadlock.
-// progress reports whether the last scheduling round executed anything.
-func resolveBarrier(cta *ctaState, progress bool) (barrierStatus, *Trap) {
-	alive, waitingCnt := 0, 0
-	var barID uint32
-	uniform := true
-	for _, th := range cta.threads {
-		if th.done {
-			continue
-		}
-		alive++
-		if th.waiting {
-			if waitingCnt == 0 {
-				barID = th.barID
-			} else if th.barID != barID {
-				uniform = false
-			}
-			waitingCnt++
-		}
-	}
-	if alive == 0 {
-		return ctaFinished, nil
-	}
-	if waitingCnt == alive {
-		if !uniform {
-			return ctaRunning, &Trap{Kind: TrapDeadlock, Thread: -1, PC: -1,
-				Msg: "threads waiting on different barrier ids"}
-		}
-		for _, th := range cta.threads {
-			th.waiting = false
-		}
-		return ctaReleased, nil
-	}
-	if !progress {
-		if waitingCnt > 0 {
-			// Cannot happen — exited threads reduce alive and runnable
-			// threads always progress — but guard interpreter bugs.
-			return ctaRunning, &Trap{Kind: TrapDeadlock, Thread: -1, PC: -1,
-				Msg: "no runnable threads but barrier unsatisfied"}
-		}
-		return ctaFinished, nil
-	}
-	return ctaRunning, nil
-}
-
 // runCTA interleaves the CTA's threads at barrier boundaries until all exit.
 func (e *exec) runCTA(cta *ctaState) *Trap {
 	for {
 		progress := false
 		for _, th := range cta.threads {
-			if th.done || th.waiting {
+			if th.done || th.waiting || e.laneFrozen(th) {
 				continue
 			}
-			// Run this thread until it parks, exits, or traps.
-			for !th.done && !th.waiting {
+			// Run this thread until it parks, exits, freezes, or traps.
+			for !th.done && !th.waiting && !e.laneFrozen(th) {
 				blocked, trap := e.step(th, cta)
 				if trap != nil {
 					return trap
@@ -218,7 +173,7 @@ func (e *exec) runCTA(cta *ctaState) *Trap {
 			}
 			progress = true
 		}
-		status, trap := resolveBarrier(cta, progress)
+		status, trap := e.resolveBarrier(cta, progress)
 		if trap != nil {
 			return trap
 		}
@@ -247,7 +202,7 @@ func (e *exec) runCTAWarped(cta *ctaState, warpSize int) *Trap {
 			for {
 				minPC := -1
 				for _, th := range warp {
-					if th.done || th.waiting {
+					if th.done || th.waiting || e.laneFrozen(th) {
 						continue
 					}
 					if minPC < 0 || th.pc < minPC {
@@ -258,7 +213,7 @@ func (e *exec) runCTAWarped(cta *ctaState, warpSize int) *Trap {
 					break
 				}
 				for _, th := range warp {
-					if th.done || th.waiting || th.pc != minPC {
+					if th.done || th.waiting || th.pc != minPC || e.laneFrozen(th) {
 						continue
 					}
 					if _, trap := e.step(th, cta); trap != nil {
@@ -277,7 +232,7 @@ func (e *exec) runCTAWarped(cta *ctaState, warpSize int) *Trap {
 				}
 			}
 		}
-		status, trap := resolveBarrier(cta, progress)
+		status, trap := e.resolveBarrier(cta, progress)
 		if trap != nil {
 			return trap
 		}

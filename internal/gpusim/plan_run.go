@@ -15,7 +15,10 @@ package gpusim
 // The fast paths are taken exactly when Tracer == nil, intra == nil, and no
 // injection is pending on the thread/warp, so e.addrFlipBit is always -1
 // there and all injection arm/disarm points live in stepCompiled, in the
-// same positions as the reference step. Scheduling order (serial
+// same positions as the reference step. A *persistent* injection
+// (InjectKind.Persistent) never stops being pending: its thread (and warp)
+// stay on the careful path for the remainder of the run, until the faulty
+// thread exits and the fault dies with it. Scheduling order (serial
 // round-robin at barrier boundaries; warped min-PC sweeps) is identical to
 // runCTA/runCTAWarped by construction — see DESIGN.md §3.8.
 
@@ -83,7 +86,14 @@ func (e *exec) stepCompiled(th *threadState, cta *ctaState) (blocked bool, trap 
 		case InjectDestDouble:
 			e.flipRegBit(th, op.destReg, inj.Bit)
 			e.flipRegBit(th, op.destReg, inj.Bit+1)
+		case InjectDestByte:
+			e.flipRegByte(th, op.destReg, inj.Bit)
+		case InjectLaneCorrelated:
+			e.flipLaneGroup(th, cta, op.destReg, inj.Bit)
 		}
+	}
+	if e.persist != nil {
+		blocked = e.persistAfterStep(th, blocked)
 	}
 
 	th.pc = nextPC
@@ -164,14 +174,17 @@ func (e *exec) runThreadFast(th *threadState, cta *ctaState) *Trap {
 // runCTACompiled is the compiled counterpart of runCTA: identical
 // round-robin scheduling at barrier boundaries, with unobserved threads
 // driven by runThreadFast. An injected thread steps carefully until its
-// injection fires, then joins the fast path.
+// injection fires, then joins the fast path — except under a persistent
+// fault, which never retires: the faulty thread then stays on the careful
+// path for the remainder of the run so every enforcement point (predicate
+// clamp, barrier blow-through, lane freeze) is observed.
 func (e *exec) runCTACompiled(cta *ctaState) *Trap {
 	instrumented := e.launch.Tracer != nil || e.intra != nil
 	inj := e.launch.Inject
 	for {
 		progress := false
 		for _, th := range cta.threads {
-			if th.done || th.waiting {
+			if th.done || th.waiting || e.laneFrozen(th) {
 				continue
 			}
 			if instrumented {
@@ -194,9 +207,11 @@ func (e *exec) runCTACompiled(cta *ctaState) *Trap {
 				if inj != nil && th.flat == inj.Thread {
 					// Careful until the injection fires: the step that starts
 					// with dynCount == DynInst retires dynamic instruction
-					// DynInst and applies the fault.
+					// DynInst and applies the fault. Persistent kinds never
+					// fire-and-retire, so the thread steps carefully forever.
 					blocked := false
-					for !th.done && !blocked && th.dynCount <= inj.DynInst {
+					for !th.done && !blocked && !e.laneFrozen(th) &&
+						(inj.Kind.Persistent() || th.dynCount <= inj.DynInst) {
 						var trap *Trap
 						blocked, trap = e.stepCompiled(th, cta)
 						if trap != nil {
@@ -204,7 +219,8 @@ func (e *exec) runCTACompiled(cta *ctaState) *Trap {
 						}
 					}
 				}
-				if !th.done && !th.waiting {
+				if !th.done && !th.waiting && !e.laneFrozen(th) &&
+					(inj == nil || th.flat != inj.Thread || !inj.Kind.Persistent()) {
 					if trap := e.runThreadFast(th, cta); trap != nil {
 						return trap
 					}
@@ -212,7 +228,7 @@ func (e *exec) runCTACompiled(cta *ctaState) *Trap {
 			}
 			progress = true
 		}
-		status, trap := resolveBarrier(cta, progress)
+		status, trap := e.resolveBarrier(cta, progress)
 		if trap != nil {
 			return trap
 		}
@@ -299,7 +315,7 @@ func (e *exec) runCTAWarpedCompiled(cta *ctaState, warpSize int) *Trap {
 			for {
 				minPC := -1
 				for _, th := range warp {
-					if th.done || th.waiting {
+					if th.done || th.waiting || e.laneFrozen(th) {
 						continue
 					}
 					if minPC < 0 || th.pc < minPC {
@@ -309,8 +325,13 @@ func (e *exec) runCTAWarpedCompiled(cta *ctaState, warpSize int) *Trap {
 				if minPC < 0 {
 					break
 				}
+				// A warp holding a pending transient injection steps
+				// carefully until it fires; a persistent one never retires,
+				// so that warp stays careful for the whole run (unless the
+				// faulty thread already exited, which ends the fault's reach).
 				if !instrumented &&
-					(injTh == nil || injTh.done || injTh.dynCount > inj.DynInst) &&
+					(injTh == nil || injTh.done ||
+						(!inj.Kind.Persistent() && injTh.dynCount > inj.DynInst)) &&
 					minPC < nInstr && e.plan.ops[minPC].straight > 0 {
 					stepped, trap := e.runWarpBatch(warp, minPC, cta)
 					if trap != nil {
@@ -323,7 +344,7 @@ func (e *exec) runCTAWarpedCompiled(cta *ctaState, warpSize int) *Trap {
 				}
 				// Careful sweep, identical to the reference loop.
 				for _, th := range warp {
-					if th.done || th.waiting || th.pc != minPC {
+					if th.done || th.waiting || th.pc != minPC || e.laneFrozen(th) {
 						continue
 					}
 					if _, trap := e.stepCompiled(th, cta); trap != nil {
@@ -341,7 +362,7 @@ func (e *exec) runCTAWarpedCompiled(cta *ctaState, warpSize int) *Trap {
 				}
 			}
 		}
-		status, trap := resolveBarrier(cta, progress)
+		status, trap := e.resolveBarrier(cta, progress)
 		if trap != nil {
 			return trap
 		}

@@ -45,6 +45,9 @@ type exec struct {
 	// addrFlipBit, when >= 0, corrupts the next effective-address
 	// computation (InjectMemAddr); consumed by address().
 	addrFlipBit int
+	// persist is the armed persistent (stuck-at) fault, decoded from
+	// Launch.Inject; nil for transient or absent injections. See persist.go.
+	persist *persistState
 	// plan is the compiled execution plan; nil when Launch.Interpret
 	// selected the reference interpreter.
 	plan *execPlan
@@ -122,6 +125,41 @@ func (e *exec) flipRegBit(th *threadState, r isa.Reg, bit int) {
 		if r.Index != isa.ZeroReg && r.Index != isa.SinkReg {
 			th.regs[r.Index] ^= 1 << (uint(bit) % 32)
 		}
+	}
+}
+
+// flipRegByte applies a whole-byte fault to a register: every bit of the
+// byte containing bit flips (the whole flag nibble for a predicate
+// register, which is narrower than a byte).
+func (e *exec) flipRegByte(th *threadState, r isa.Reg, bit int) {
+	switch r.Class {
+	case isa.RegPred:
+		th.preds[r.Index] ^= (1 << isa.PredBits) - 1
+	case isa.RegOfs:
+		th.ofs[r.Index] ^= 0xFF << (uint(bit) % 32 / 8 * 8)
+	case isa.RegGPR:
+		if r.Index != isa.ZeroReg && r.Index != isa.SinkReg {
+			th.regs[r.Index] ^= 0xFF << (uint(bit) % 32 / 8 * 8)
+		}
+	}
+}
+
+// flipLaneGroup applies a spatially correlated fault: bit flips in the same
+// architectural register of every thread in th's lane group — the warp
+// under SIMT scheduling, a 32-wide group under serial interleaving.
+func (e *exec) flipLaneGroup(th *threadState, cta *ctaState, r isa.Reg, bit int) {
+	w := e.launch.WarpSize
+	if w <= 0 {
+		w = 32
+	}
+	local := th.flat % e.block.Count()
+	base := local / w * w
+	end := base + w
+	if end > len(cta.threads) {
+		end = len(cta.threads)
+	}
+	for _, o := range cta.threads[base:end] {
+		e.flipRegBit(o, r, bit)
 	}
 }
 

@@ -141,6 +141,9 @@ type Record struct {
 	CTAsSkipped  int64 `json:"cs,omitempty"`
 	EarlyExit    bool  `json:"ee,omitempty"`
 	IntraResumed bool  `json:"ir,omitempty"`
+	// FullRunFallback marks a run that bypassed the checkpoint store because
+	// its fault model is not fast-forward sound.
+	FullRunFallback bool `json:"fb,omitempty"`
 	// Attempts is how many executions the outcome took (>1 after retries).
 	Attempts int `json:"a,omitempty"`
 	// Err is the recorded engine error of a quarantined site.
@@ -480,6 +483,13 @@ func Merge(paths []string, allowPartial bool) (Fingerprint, []Record, error) {
 			base = fp
 			base.ShardIndex = 0
 		} else if !fp.SameCampaign(base) {
+			// A model mismatch gets its own message: mixing fault models is
+			// the likeliest operator slip, and "model: want X, got Y" buried
+			// in a field diff under-sells that the outcomes are incomparable.
+			if fp.Model != base.Model {
+				return base, nil, fmt.Errorf("%w: %s was recorded under fault model %q but %s under %q; shards of one campaign must share a model",
+					ErrFingerprintMismatch, paths[0], base.Model, path, fp.Model)
+			}
 			want, got := base, fp
 			want.ShardIndex, got.ShardIndex = 0, 0
 			return base, nil, fmt.Errorf("%w: %s and %s are not shards of one campaign (%s)",

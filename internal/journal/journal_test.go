@@ -358,6 +358,62 @@ func TestMergeValidation(t *testing.T) {
 	}
 }
 
+// TestMergeModelMismatch: shards recorded under different fault models are
+// not fragments of one campaign; the error must name both models and both
+// files so the operator can see which shard came from which run.
+func TestMergeModelMismatch(t *testing.T) {
+	dir := t.TempDir()
+	const sites, shards = 20, 2
+	base := shardJournal(t, dir, 0, shards, sites)
+
+	other := filepath.Join(dir, "stuck.journal")
+	fp := testFP()
+	fp.Model = "stuck-pred"
+	fp.Sites = sites
+	fp.ShardIndex, fp.ShardCount = 1, shards
+	oj, err := Open(other, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oj.Close()
+
+	_, _, err = Merge([]string{base, other}, true)
+	if !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	for _, want := range []string{"dest-value", "stuck-pred", "must share a model", base, other} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("merge error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestRecordFallbackRoundTrip: the full-run-fallback flag survives the
+// journal encoding (including its omitempty default).
+func TestRecordFallbackRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := Open(path, testFP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rec(0), rec(1)
+	a.FullRunFallback = true
+	if err := j.Append(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || !recs[0].FullRunFallback || recs[1].FullRunFallback {
+		t.Fatalf("records after reopen: %+v", recs)
+	}
+}
+
 // TestFingerprintDiff: Diff names exactly the differing fields with
 // expected-vs-got values, and is empty for equal fingerprints.
 func TestFingerprintDiff(t *testing.T) {

@@ -344,13 +344,14 @@ func (s *Server) execute(c *campaign) ([]journal.Record, error) {
 	}
 
 	// The site list derives deterministically from (kernel, scale, seed,
-	// size) — the same recipe as fsprune, pinned by the fingerprint.
+	// size, model) — the same recipe as fsprune, pinned by the fingerprint.
+	model := c.sub.model()
 	space := fault.NewSpace(inst.Target.Profile())
 	rng := stats.NewRNG(c.sub.Seed).Split("baseline")
-	sites := fault.Uniform(space.Random(rng, c.sub.Sites))
+	sites := fault.Uniform(space.RandomModel(rng, c.sub.Sites, model))
 
 	shard := c.sub.shard()
-	fp := inst.Target.JournalFingerprint(fault.ModelDestValue, len(sites), c.sub.Scale, c.sub.Seed, shard)
+	fp := inst.Target.JournalFingerprint(model, len(sites), c.sub.Scale, c.sub.Seed, shard)
 	if fp != c.fp {
 		// Submission-side and target-side fingerprints are derived
 		// independently; disagreement means a bug, not a bad request.
@@ -376,7 +377,7 @@ func (s *Server) execute(c *campaign) ([]journal.Record, error) {
 		Interrupt:   s.stopc,
 		Progress:    func(completed, _ int) { c.completed.Store(int64(completed)) },
 	}
-	_, runErr := fault.Run(inst.Target, sites, opt)
+	_, runErr := fault.RunModel(inst.Target, sites, model, opt)
 
 	c.mu.Lock()
 	c.j = nil

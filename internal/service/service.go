@@ -44,6 +44,9 @@ type Submission struct {
 	// Sites is the campaign size (uniform random sites); 0 selects the
 	// fsprune default (3000).
 	Sites int `json:"sites,omitempty"`
+	// Model is the fault model name (fault.ParseModel); "" selects the
+	// paper baseline, dest-value.
+	Model string `json:"model,omitempty"`
 	// Warp is the SIMT lockstep width (0 = serial interleaving).
 	Warp int `json:"warp,omitempty"`
 	// FullRun disables checkpointed fast-forward (the reference engine).
@@ -80,6 +83,12 @@ func (s Submission) normalize() (Submission, error) {
 		return s, fmt.Errorf("unknown scale %q (want %q or %q)",
 			s.Scale, kernels.ScaleSmall, kernels.ScalePaper)
 	}
+	if s.Model == "" {
+		s.Model = fault.ModelDestValue.String()
+	}
+	if _, err := fault.ParseModel(s.Model); err != nil {
+		return s, err
+	}
 	if s.Seed == 0 {
 		s.Seed = DefaultSeed
 	}
@@ -110,6 +119,16 @@ func (s Submission) normalize() (Submission, error) {
 	}
 	s.ShardIndex, s.ShardCount = sh.Index, sh.Count
 	return s, nil
+}
+
+// model maps the validated model name to the fault constant. Only valid on
+// a normalized submission.
+func (s Submission) model() fault.Model {
+	m, err := fault.ParseModel(s.Model)
+	if err != nil {
+		panic(fmt.Sprintf("service: model %q survived normalize: %v", s.Model, err))
+	}
+	return m
 }
 
 // shard returns the submission's shard in the engine's normalized form.
@@ -151,7 +170,7 @@ func (s Submission) fingerprint() journal.Fingerprint {
 		Kernel:      s.Kernel,
 		Scale:       s.Scale,
 		Seed:        s.Seed,
-		Model:       fault.ModelDestValue.String(),
+		Model:       s.Model,
 		Warp:        s.Warp,
 		Stride:      s.CkptStride,
 		IntraStride: s.IntraStride,
@@ -164,15 +183,15 @@ func (s Submission) fingerprint() journal.Fingerprint {
 
 // submissionFromFingerprint reconstructs the submission a recovered journal
 // was created for — every field of the fingerprint maps back onto one
-// submission knob. It fails on journals from other tooling (a different
-// fault model) or for kernels this build does not register.
+// submission knob. It fails on journals from other tooling (a fault model
+// this build does not implement) or for kernels it does not register.
 func submissionFromFingerprint(fp journal.Fingerprint) (Submission, error) {
-	if fp.Model != fault.ModelDestValue.String() {
-		return Submission{}, fmt.Errorf("journal was recorded under model %q; the service runs %q",
-			fp.Model, fault.ModelDestValue)
+	if _, err := fault.ParseModel(fp.Model); err != nil {
+		return Submission{}, fmt.Errorf("journal was recorded under a fault model this build cannot run: %w", err)
 	}
 	sub := Submission{
 		Kernel:      fp.Kernel,
+		Model:       fp.Model,
 		Scale:       fp.Scale,
 		Seed:        fp.Seed,
 		Sites:       fp.Sites,

@@ -51,21 +51,28 @@ func standalone(t *testing.T, dir string, sub service.Submission) (fault.Dist, [
 	if seed == 0 {
 		seed = service.DefaultSeed
 	}
+	model := fault.ModelDestValue
+	if sub.Model != "" {
+		model, err = fault.ParseModel(sub.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
 	space := fault.NewSpace(inst.Target.Profile())
 	rng := stats.NewRNG(seed).Split("baseline")
-	sites := fault.Uniform(space.Random(rng, sub.Sites))
+	sites := fault.Uniform(space.RandomModel(rng, sub.Sites, model))
 
 	shard := fault.Shard{Index: sub.ShardIndex, Count: sub.ShardCount}
 	if shard.Count == 0 {
 		shard = fault.Shard{Index: 0, Count: 1}
 	}
-	fp := inst.Target.JournalFingerprint(fault.ModelDestValue, len(sites), sc.String(), seed, shard)
+	fp := inst.Target.JournalFingerprint(model, len(sites), sc.String(), seed, shard)
 	path := filepath.Join(dir, "reference.journal")
 	j, err := journal.Open(path, fp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := fault.Run(inst.Target, sites, fault.CampaignOptions{Journal: j, Shard: shard})
+	res, err := fault.RunModel(inst.Target, sites, model, fault.CampaignOptions{Journal: j, Shard: shard})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,6 +401,7 @@ func TestSubmitValidation(t *testing.T) {
 	}{
 		{"unknown kernel", service.Submission{Kernel: "No Such K9"}},
 		{"unknown scale", service.Submission{Kernel: "GEMM K1", Scale: "huge"}},
+		{"unknown model", service.Submission{Kernel: "GEMM K1", Model: "stuck-everything"}},
 		{"negative sites", service.Submission{Kernel: "GEMM K1", Sites: -1}},
 		{"negative warp", service.Submission{Kernel: "GEMM K1", Warp: -2}},
 		{"negative stride", service.Submission{Kernel: "GEMM K1", CkptStride: -1}},
@@ -422,6 +430,78 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if want := (service.DefaultSites - 1 + 2 - 1) / 2; st.OwnedSites != want {
 		t.Errorf("owned sites %d, want %d", st.OwnedSites, want)
+	}
+}
+
+// TestStuckModelCampaign runs a persistent-fault campaign through the
+// service: the model is part of the campaign identity (no dedup against the
+// dest-value twin), the final report is byte-identical to the standalone
+// engine reference and carries the forced full-run fallback count, and a
+// restarted daemon recovers the journal back into a submission under the
+// same model.
+func TestStuckModelCampaign(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := service.New(service.Config{
+		DataDir:     dir,
+		Workers:     2,
+		Parallelism: 2,
+		Cache:       fault.NewPreparedCache(256 << 20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	mask := service.Submission{Kernel: "GEMM K1", Sites: 40, Seed: 3, Model: "stuck-active-mask"}
+	base := service.Submission{Kernel: "GEMM K1", Sites: 40, Seed: 3}
+	idMask, deduped, code := postCampaign(t, ts, mask)
+	if code != http.StatusAccepted && code != http.StatusOK || deduped {
+		t.Fatalf("mask submit: HTTP %d deduped=%v", code, deduped)
+	}
+	idBase, deduped, _ := postCampaign(t, ts, base)
+	if deduped || idBase == idMask {
+		t.Fatalf("model excluded from campaign identity: base %s vs mask %s (deduped %v)",
+			idBase, idMask, deduped)
+	}
+	waitDone(t, ts, idMask)
+	waitDone(t, ts, idBase)
+
+	_, want := standalone(t, t.TempDir(), mask)
+	got := reportBytes(t, ts, idMask)
+	if !bytes.Equal(got, want) {
+		t.Errorf("stuck-model report differs from standalone reference:\ngot:  %s\nwant: %s", got, want)
+	}
+	var doc report.Merged
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Model != "stuck-active-mask" {
+		t.Errorf("report model = %q", doc.Model)
+	}
+	if doc.Campaign.FullRunFallbacks != int64(mask.Sites) {
+		t.Errorf("report fallbacks = %d, want %d", doc.Campaign.FullRunFallbacks, mask.Sites)
+	}
+	srv.Stop()
+
+	// Restart over the same data directory: the stuck-model journal must
+	// recover as a done campaign under the same id and model.
+	srv2, err := service.New(service.Config{DataDir: dir, Cache: fault.NewPreparedCache(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	st := getStatus(t, ts2, idMask)
+	if st.State != service.StateDone {
+		t.Fatalf("recovered stuck-model campaign is %s, want done", st.State)
+	}
+	if st.Submission.Model != "stuck-active-mask" {
+		t.Fatalf("recovered submission model = %q", st.Submission.Model)
+	}
+	if got := reportBytes(t, ts2, idMask); !bytes.Equal(got, want) {
+		t.Errorf("recovered stuck-model report differs from reference")
 	}
 }
 
