@@ -8,9 +8,9 @@ BENCH_OUT   ?= BENCH_pr8.json
 BENCH_COUNT ?= 2
 BENCH_PASSES ?= 3
 
-.PHONY: ci vet build test race campaign-smoke stuckat-smoke service-smoke doccheck bench-smoke bench bench-check bench-full
+.PHONY: ci vet build test race campaign-smoke stuckat-smoke service-smoke advise-smoke doccheck bench-smoke bench bench-check bench-full
 
-ci: vet build race campaign-smoke stuckat-smoke service-smoke doccheck bench-check
+ci: vet build race campaign-smoke stuckat-smoke service-smoke advise-smoke doccheck bench-check
 
 vet:
 	$(GO) vet ./...
@@ -45,9 +45,24 @@ stuckat-smoke:
 service-smoke:
 	$(GO) test -race -run 'TestServeSmoke' ./cmd/fsserve
 
-# Documentation gate: every internal package carries a package comment and
-# every `go run ./cmd/...` invocation quoted in README/DESIGN/ARCHITECTURE
-# code fences names a real command and real flags.
+# Hardening-advisor smoke against the real CLIs: record a small campaign
+# journal with fsprune, advise from it with fsadvise, and check the JSON
+# document carries the frontier and its overhead axis; the live-campaign
+# door must produce the byte-identical document.
+advise-smoke:
+	t=$$(mktemp -d) && \
+	$(GO) run ./cmd/fsprune -kernel "GEMM K1" -action campaign -baseline 120 -journal $$t/a.journal > /dev/null && \
+	$(GO) run ./cmd/fsadvise -journal $$t/a.journal -json > $$t/replay.json && \
+	grep -q '"frontier"' $$t/replay.json && grep -q '"overhead_pct"' $$t/replay.json && \
+	$(GO) run ./cmd/fsadvise -kernel "GEMM K1" -sites 120 -json > $$t/live.json && \
+	cmp $$t/replay.json $$t/live.json && \
+	rm -rf $$t
+
+# Documentation gate: every internal package carries a package comment,
+# every `go run ./cmd/...` invocation quoted in README/DESIGN/ARCHITECTURE/
+# EXPERIMENTS code fences names a real command and real flags, every cmd/*
+# binary and every flag it defines is documented in README, and inline flag
+# references in EXPERIMENTS.md name flags some command defines.
 doccheck:
 	$(GO) run ./cmd/doccheck
 

@@ -1,13 +1,22 @@
-// Command doccheck keeps the documentation honest. It enforces two
+// Command doccheck keeps the documentation honest. It enforces four
 // invariants that otherwise rot silently:
 //
 //  1. Every package under internal/ carries a package comment (godoc's
 //     "Package <name> ..." paragraph), so `go doc` gives a real answer for
 //     every layer of the pipeline.
 //  2. Every `go run ./cmd/<name>` invocation quoted in a fenced code block
-//     of README.md, DESIGN.md or ARCHITECTURE.md refers to a command that
-//     exists, and every flag it passes is actually defined by that command's
-//     source — so the walkthroughs stay runnable as the CLIs evolve.
+//     of README.md, DESIGN.md, ARCHITECTURE.md or EXPERIMENTS.md refers to
+//     a command that exists, and every flag it passes is actually defined
+//     by that command's source — so the walkthroughs stay runnable as the
+//     CLIs evolve.
+//  3. Every cmd/* binary is covered by README.md — the command is named
+//     ("cmd/<name>") and every flag it defines appears as "-<flag>"
+//     somewhere in the README — so a new command or flag cannot land
+//     undocumented.
+//  4. Every flag-shaped token in an inline code span of EXPERIMENTS.md
+//     ("`fsprune -dead`") names a flag some command actually defines, so
+//     the experiment commentary cannot reference a flag that was renamed
+//     or removed.
 //
 // Run from the repository root (as `make doccheck` does); exits non-zero
 // with one line per violation.
@@ -28,14 +37,16 @@ import (
 func main() {
 	var violations []string
 	violations = append(violations, checkPackageComments("internal")...)
-	violations = append(violations, checkDocCommands("README.md", "DESIGN.md", "ARCHITECTURE.md")...)
+	violations = append(violations, checkDocCommands("README.md", "DESIGN.md", "ARCHITECTURE.md", "EXPERIMENTS.md")...)
+	violations = append(violations, checkCmdCoverage("README.md")...)
+	violations = append(violations, checkInlineFlags("EXPERIMENTS.md")...)
 	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "doccheck:", v)
 		}
 		os.Exit(1)
 	}
-	fmt.Println("doccheck: package comments and documented CLI invocations are clean")
+	fmt.Println("doccheck: package comments, CLI coverage and documented invocations are clean")
 }
 
 // checkPackageComments walks every Go package directory under root and
@@ -137,6 +148,132 @@ func checkDocCommands(files ...string) []string {
 		}
 		if inFence {
 			violations = append(violations, fmt.Sprintf("%s: unterminated code fence", file))
+		}
+	}
+	return violations
+}
+
+// checkCmdCoverage requires every cmd/* binary to be documented in readme:
+// the command must be named ("cmd/<name>") and every flag it defines must
+// appear somewhere in the readme as "-<flag>".
+func checkCmdCoverage(readme string) []string {
+	data, err := os.ReadFile(readme)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	text := string(data)
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var violations []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if !strings.Contains(text, "cmd/"+name) {
+			violations = append(violations,
+				fmt.Sprintf("%s: cmd/%s is not documented (no \"cmd/%s\" mention)", readme, name, name))
+			continue
+		}
+		flags, err := cmdFlags(name)
+		if err != nil {
+			violations = append(violations, err.Error())
+			continue
+		}
+		names := make([]string, 0, len(flags))
+		for f := range flags {
+			names = append(names, f)
+		}
+		sort.Strings(names)
+		for _, f := range names {
+			if !flagDocumented(text, f) {
+				violations = append(violations,
+					fmt.Sprintf("%s: cmd/%s flag -%s is not documented", readme, name, f))
+			}
+		}
+	}
+	return violations
+}
+
+// flagDocumented reports whether "-<flag>" occurs in text at a word-ish
+// boundary: preceded by start-of-text, whitespace, '`' or '(' so that
+// "-rank" does not satisfy a search for "-rank-by"'s prefix, and followed
+// by a non-flag character so "-top" is not satisfied by "-topology".
+func flagDocumented(text, flag string) bool {
+	needle := "-" + flag
+	for from := 0; ; {
+		i := strings.Index(text[from:], needle)
+		if i < 0 {
+			return false
+		}
+		i += from
+		from = i + 1
+		if i > 0 {
+			switch text[i-1] {
+			case ' ', '\t', '\n', '`', '(':
+			default:
+				continue
+			}
+		}
+		end := i + len(needle)
+		if end < len(text) {
+			c := text[end]
+			if c == '-' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') {
+				continue
+			}
+		}
+		return true
+	}
+}
+
+var inlineSpanRE = regexp.MustCompile("`[^`\n]+`")
+var inlineFlagRE = regexp.MustCompile(`(^|\s)-([a-z][a-z0-9-]*)`)
+
+// checkInlineFlags scans the inline code spans (single-backtick, outside
+// fenced blocks) of a markdown file and requires every flag-shaped token to
+// name a flag that at least one cmd/* binary defines.
+func checkInlineFlags(file string) []string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	defined := map[string]bool{}
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var violations []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		flags, err := cmdFlags(e.Name())
+		if err != nil {
+			violations = append(violations, err.Error())
+			continue
+		}
+		for f := range flags {
+			defined[f] = true
+		}
+	}
+	inFence := false
+	for lineno, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, span := range inlineSpanRE.FindAllString(line, -1) {
+			for _, m := range inlineFlagRE.FindAllStringSubmatch(span, -1) {
+				if !defined[m[2]] {
+					violations = append(violations,
+						fmt.Sprintf("%s:%d: no command defines a flag -%s (in %s)", file, lineno+1, m[2], span))
+				}
+			}
 		}
 	}
 	return violations

@@ -1,0 +1,145 @@
+package advisor_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/journal"
+	"repro/internal/ptx"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// identityTarget builds a small two-CTA kernel with a loop, enough outcome
+// variety to exercise every ranking bucket.
+func identityTarget(t *testing.T) *fault.Target {
+	t.Helper()
+	prog, err := ptx.Assemble("idk", `
+		cvt.u32.u16 $r0, %tid.x
+		cvt.u32.u16 $r1, %ctaid.x
+		cvt.u32.u16 $r2, %ntid.x
+		mad.lo.u32 $r0, $r1, $r2, $r0
+		shl.u32 $r3, $r0, 0x00000002
+		add.u32 $r3, $r3, s[0x0010]
+		ld.global.u32 $r4, [$r3]
+		mul.lo.u32 $r4, $r4, $r4
+		add.u32 $r5, $r3, s[0x0014]
+		st.global.u32 [$r5], $r4
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpusim.NewDevice(4 * 32)
+	in := make([]uint32, 8)
+	for i := range in {
+		in[i] = uint32(3*i + 2)
+	}
+	dev.WriteWords(0, in)
+	return &fault.Target{
+		Name:   "idk",
+		Prog:   prog,
+		Grid:   gpusim.Dim3{X: 2, Y: 1, Z: 1},
+		Block:  gpusim.Dim3{X: 4, Y: 1, Z: 1},
+		Params: []uint32{0, 4 * 8},
+		Init:   dev,
+		Output: []fault.Range{{Off: 4 * 8, Len: 4 * 8}},
+	}
+}
+
+// TestLiveJournalByteIdentity is the tentpole's acceptance property at the
+// package level: advising from a live in-process campaign and from that
+// campaign's replayed journal must produce byte-identical JSON documents.
+func TestLiveJournalByteIdentity(t *testing.T) {
+	tgt := identityTarget(t)
+	if err := tgt.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	const seed, nSites = 9, 120
+	model := fault.ModelDestValue
+	space := fault.NewSpace(tgt.Profile())
+	rng := stats.NewRNG(seed).Split("baseline")
+	sites := fault.Uniform(space.RandomModel(rng, nSites, model))
+
+	shard := fault.Shard{Index: 0, Count: 1}
+	fp := tgt.JournalFingerprint(model, len(sites), "small", seed, shard)
+	path := filepath.Join(t.TempDir(), "identity.journal")
+	j, err := journal.Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fault.RunModel(tgt, sites, model, fault.CampaignOptions{
+		KeepPerSite: true,
+		Journal:     j,
+		Shard:       shard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	liveIn, err := advisor.FromCampaign(tgt, fp.Kernel, fp.Scale, seed, model, sites, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readFP, recs, err := journal.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalIn, err := advisor.FromJournal(tgt, readFP, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, opt := range []advisor.Options{
+		{},
+		{RankBy: advisor.RankSeverity, Confidence: 0.99, Budgets: []float64{2, 10, 50}},
+	} {
+		var live, replay bytes.Buffer
+		adv, err := advisor.Analyze(liveIn, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := report.Write(&live, adv); err != nil {
+			t.Fatal(err)
+		}
+		adv, err = advisor.Analyze(journalIn, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := report.Write(&replay, adv); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(live.Bytes(), replay.Bytes()) {
+			t.Fatalf("live and journal advice differ under %+v:\nlive:   %s\nreplay: %s",
+				opt, live.String(), replay.String())
+		}
+	}
+}
+
+// TestFromJournalRejectsWrongTarget replays a journal against a target
+// with a different thread population and expects a loud failure, not
+// silent mis-attribution.
+func TestFromJournalRejectsWrongTarget(t *testing.T) {
+	tgt := identityTarget(t)
+	if err := tgt.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	nThreads := len(tgt.Profile().Threads)
+	fp := journal.Fingerprint{Kernel: "idk", Seed: 1, Model: "dest-value", Sites: 1, ShardCount: 1}
+	recs := []journal.Record{{Index: 0, Thread: nThreads, DynInst: 0, Bit: 0, Outcome: 0, Weight: 1}}
+	if _, err := advisor.FromJournal(tgt, fp, recs); err == nil {
+		t.Fatal("want error for out-of-range thread, got nil")
+	}
+	recs[0].Thread = 0
+	recs[0].DynInst = 1 << 40
+	if _, err := advisor.FromJournal(tgt, fp, recs); err == nil {
+		t.Fatal("want error for out-of-range dynamic instruction, got nil")
+	}
+}

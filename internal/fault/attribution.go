@@ -1,0 +1,61 @@
+package fault
+
+import "fmt"
+
+// SiteOutcome is one campaign site's outcome joined with the attribution
+// the advisor needs: which thread took the fault, at which dynamic
+// instruction, and — resolved through the target's profile — which static
+// instruction (PC) executed there. It is the in-memory twin of a
+// journal.Record with the static PC already looked up.
+type SiteOutcome struct {
+	// Index is the site's input-order index in the campaign site list.
+	Index int
+	// Site is the injected fault site (thread, dynamic instruction, bit).
+	Site Site
+	// PC is the static instruction executing at the site, resolved via
+	// Target.StaticPCAt.
+	PC int
+	// Outcome is the site's final classification.
+	Outcome Outcome
+	// Weight is the site's population weight from the campaign site list.
+	Weight float64
+}
+
+// Attributed joins a campaign's per-site outcomes back onto the site list
+// that produced them, resolving each site's static PC through t's profile.
+// It is the bridge from "campaign result" to "per-thread / per-instruction
+// analysis": PerSite alone holds bare outcomes in input order, and only the
+// site list plus the profile can say which thread and static instruction
+// each outcome belongs to.
+//
+// The campaign must have run with CampaignOptions.KeepPerSite on the same
+// site list and model, unsharded and complete — a sharded result holds
+// meaningless zero outcomes for foreign sites, and attribution cannot tell
+// those from real Masked entries.
+func (r *CampaignResult) Attributed(t *Target, model Model, sites []WeightedSite) ([]SiteOutcome, error) {
+	if r.PerSite == nil {
+		return nil, fmt.Errorf("fault: Attributed requires CampaignOptions.KeepPerSite")
+	}
+	if len(r.PerSite) != len(sites) {
+		return nil, fmt.Errorf("fault: Attributed: %d per-site outcomes but %d sites (wrong site list?)",
+			len(r.PerSite), len(sites))
+	}
+	if r.Completed != len(sites) {
+		return nil, fmt.Errorf("fault: Attributed: campaign incomplete (%d of %d sites); attribution needs every outcome",
+			r.Completed, len(sites))
+	}
+	out := make([]SiteOutcome, len(sites))
+	for i, ws := range sites {
+		if err := t.validateSiteModel(ws.Site, model); err != nil {
+			return nil, fmt.Errorf("fault: Attributed: site %d: %w", i, err)
+		}
+		out[i] = SiteOutcome{
+			Index:   i,
+			Site:    ws.Site,
+			PC:      t.StaticPCAt(ws.Site.Thread, ws.Site.DynInst),
+			Outcome: r.PerSite[i],
+			Weight:  ws.Weight,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package fault_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/stats"
+)
+
+// TestAttributed joins a campaign's per-site outcomes back onto its site
+// list and checks every field against the ground truth the target exposes.
+func TestAttributed(t *testing.T) {
+	tgt := tinyTarget(t)
+	if err := tgt.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	space := fault.NewSpace(tgt.Profile())
+	rng := stats.NewRNG(7).Split("baseline")
+	sites := fault.Uniform(space.Random(rng, 60))
+
+	res, err := fault.Run(tgt, sites, fault.CampaignOptions{KeepPerSite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attributed, err := res.Attributed(tgt, fault.ModelDestValue, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attributed) != len(sites) {
+		t.Fatalf("got %d attributed outcomes, want %d", len(attributed), len(sites))
+	}
+	for i, a := range attributed {
+		if a.Index != i {
+			t.Fatalf("entry %d carries index %d", i, a.Index)
+		}
+		if a.Site != sites[i].Site {
+			t.Fatalf("entry %d carries site %v, want %v", i, a.Site, sites[i].Site)
+		}
+		if a.Outcome != res.PerSite[i] {
+			t.Fatalf("entry %d carries outcome %v, want %v", i, a.Outcome, res.PerSite[i])
+		}
+		if a.Weight != sites[i].Weight {
+			t.Fatalf("entry %d carries weight %v, want %v", i, a.Weight, sites[i].Weight)
+		}
+		if want := tgt.StaticPCAt(a.Site.Thread, a.Site.DynInst); a.PC != want {
+			t.Fatalf("entry %d resolves PC %d, want %d", i, a.PC, want)
+		}
+	}
+}
+
+// TestAttributedRejects checks the preconditions: attribution must fail
+// without KeepPerSite and on a mismatched site list, not mis-attribute.
+func TestAttributedRejects(t *testing.T) {
+	tgt := tinyTarget(t)
+	if err := tgt.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	space := fault.NewSpace(tgt.Profile())
+	rng := stats.NewRNG(7).Split("baseline")
+	sites := fault.Uniform(space.Random(rng, 20))
+
+	res, err := fault.Run(tgt, sites, fault.CampaignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Attributed(tgt, fault.ModelDestValue, sites); err == nil ||
+		!strings.Contains(err.Error(), "KeepPerSite") {
+		t.Fatalf("want KeepPerSite error, got %v", err)
+	}
+
+	res, err = fault.Run(tgt, sites, fault.CampaignOptions{KeepPerSite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Attributed(tgt, fault.ModelDestValue, sites[:10]); err == nil {
+		t.Fatal("want error for mismatched site list, got nil")
+	}
+}

@@ -1,0 +1,65 @@
+package journal
+
+import (
+	"strings"
+	"testing"
+)
+
+func attrFP(sites int) Fingerprint {
+	return Fingerprint{Kernel: "K", Seed: 1, Model: "dest-value", Sites: sites, ShardCount: 1}
+}
+
+// TestAttributedSorts checks that completion-order records come back in
+// campaign-index order — the order downstream aggregation depends on.
+func TestAttributedSorts(t *testing.T) {
+	recs := []Record{
+		{Index: 2, Thread: 5, DynInst: 9, Bit: 1, Outcome: 1, Weight: 1},
+		{Index: 0, Thread: 3, DynInst: 4, Bit: 0, Outcome: 0, Weight: 1},
+		{Index: 1, Thread: 4, DynInst: 7, Bit: 2, Outcome: 2, Weight: 1},
+	}
+	got, err := Attributed(attrFP(3), recs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got {
+		if r.Index != i {
+			t.Fatalf("position %d holds index %d", i, r.Index)
+		}
+	}
+	// The input must not be reordered in place: callers hand Attributed
+	// journal-owned slices.
+	if recs[0].Index != 2 {
+		t.Fatal("input slice was mutated")
+	}
+}
+
+func TestAttributedRejectsDuplicates(t *testing.T) {
+	recs := []Record{{Index: 1}, {Index: 1}}
+	if _, err := Attributed(attrFP(3), recs, false); err == nil ||
+		!strings.Contains(err.Error(), "twice") {
+		t.Fatalf("want duplicate-index error, got %v", err)
+	}
+}
+
+func TestAttributedRejectsOutOfRange(t *testing.T) {
+	if _, err := Attributed(attrFP(3), []Record{{Index: 3}}, false); err == nil {
+		t.Fatal("want out-of-range error, got nil")
+	}
+	if _, err := Attributed(attrFP(3), []Record{{Index: -1}}, false); err == nil {
+		t.Fatal("want out-of-range error, got nil")
+	}
+	if _, err := Attributed(attrFP(3), []Record{{Index: 0, Thread: -1}}, false); err == nil {
+		t.Fatal("want negative-key error, got nil")
+	}
+}
+
+func TestAttributedRequireComplete(t *testing.T) {
+	recs := []Record{{Index: 0}, {Index: 2}}
+	if _, err := Attributed(attrFP(3), recs, true); err == nil ||
+		!strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("want incomplete error, got %v", err)
+	}
+	if _, err := Attributed(attrFP(3), recs, false); err != nil {
+		t.Fatalf("partial attribution without requireComplete should pass, got %v", err)
+	}
+}

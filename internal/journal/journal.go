@@ -533,3 +533,44 @@ func Merge(paths []string, allowPartial bool) (Fingerprint, []Record, error) {
 	sort.Slice(all, func(a, b int) bool { return all[a].Index < all[b].Index })
 	return base, all, nil
 }
+
+// Attributed prepares a journal's records for per-thread / per-instruction
+// analysis: it validates each record's site index and key fields against
+// the fingerprint, rejects duplicate indices, and returns the records
+// sorted by campaign index — a single journal's on-disk order is completion
+// order, which is scheduling-dependent and must not leak into downstream
+// aggregation. With requireComplete, every one of the fingerprint's sites
+// must be present (the advisor cannot rank from a partial campaign without
+// biasing toward whichever sites happened to finish first).
+//
+// The records' redundant Thread/DynInst/Bit fields are the attribution
+// payload: they let a reader reconstruct which thread and dynamic
+// instruction each outcome belongs to without re-deriving the site list
+// from the sampling seed.
+func Attributed(fp Fingerprint, recs []Record, requireComplete bool) ([]Record, error) {
+	if fp.Sites <= 0 {
+		return nil, fmt.Errorf("journal: fingerprint declares %d sites", fp.Sites)
+	}
+	out := make([]Record, len(recs))
+	copy(out, recs)
+	seen := make(map[int]struct{}, len(out))
+	for _, r := range out {
+		if r.Index < 0 || r.Index >= fp.Sites {
+			return nil, fmt.Errorf("journal: site index %d out of range [0,%d)", r.Index, fp.Sites)
+		}
+		if _, dup := seen[r.Index]; dup {
+			return nil, fmt.Errorf("journal: site %d recorded twice", r.Index)
+		}
+		seen[r.Index] = struct{}{}
+		if r.Thread < 0 || r.DynInst < 0 || r.Bit < 0 {
+			return nil, fmt.Errorf("journal: site %d carries a negative key (%d,%d,%d)",
+				r.Index, r.Thread, r.DynInst, r.Bit)
+		}
+	}
+	if requireComplete && len(out) != fp.Sites {
+		return nil, fmt.Errorf("journal: %d of %d sites recorded (campaign incomplete)",
+			len(out), fp.Sites)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
+	return out, nil
+}

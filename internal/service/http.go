@@ -3,9 +3,12 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 
+	"repro/internal/advisor"
 	"repro/internal/fault"
 	"repro/internal/report"
 )
@@ -75,6 +78,43 @@ func (s *Server) Report(id string) (report.Merged, error) {
 		return report.Merged{}, ErrNotFinished
 	}
 	return report.NewMerged(c.fp, c.recs)
+}
+
+// Advice returns the campaign's selective-hardening advice document — the
+// same bytes fsadvise emits for the campaign's journal, because both
+// attribute the index-sorted records through advisor.FromJournal and
+// analyze with the same options.
+func (s *Server) Advice(id string, opt advisor.Options) (*report.Advice, error) {
+	c, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	state, fp, recs := c.state, c.fp, c.recs
+	c.mu.Unlock()
+	if state != StateDone {
+		return nil, fmt.Errorf("%w: campaign is %s", ErrNotFinished, state)
+	}
+	if fp.ShardCount != 1 {
+		// One shard's journal holds only its own sites; a ranking from it
+		// would be blind to every other shard's outcomes. Merge the shard
+		// journals with fsmerge and advise offline with fsadvise -journal.
+		return nil, fmt.Errorf("%w: advice requires an unsharded campaign (this is shard %d of %d)",
+			ErrBadRequest, fp.ShardIndex, fp.ShardCount)
+	}
+	inst, err := s.buildTarget(c.sub)
+	if err != nil {
+		return nil, err
+	}
+	in, err := advisor.FromJournal(inst.Target, fp, recs)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := advisor.Analyze(in, opt)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return adv, nil
 }
 
 // CacheStats is fault.CacheStats with JSON tags for the /stats document.
@@ -164,6 +204,8 @@ type submitResponse struct {
 //	POST /campaigns               submit (202 accepted, 200 deduplicated)
 //	GET  /campaigns/{id}          live status + incremental profile
 //	GET  /campaigns/{id}/report   final report (409 until done)
+//	GET  /campaigns/{id}/advice   selective-hardening advice (409 until done;
+//	                              ?rank-by= ?budget= ?confidence= options)
 //	GET  /healthz                 liveness probe
 //	GET  /stats                   pool, cache, and per-campaign counters
 func (s *Server) Handler() http.Handler {
@@ -171,6 +213,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /campaigns/{id}/advice", s.handleAdvice)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -233,6 +276,35 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	_ = report.Write(w, doc)
 }
 
+func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	opt := advisor.Options{RankBy: q.Get("rank-by")}
+	if v := q.Get("confidence"); v != "" {
+		c, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad confidence %q: %v", v, err))
+			return
+		}
+		opt.Confidence = c
+	}
+	budgets, err := advisor.ParseBudgets(q.Get("budget"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opt.Budgets = budgets
+	adv, err := s.Advice(r.PathValue("id"), opt)
+	if err != nil {
+		writeError(w, statusCode(err), err)
+		return
+	}
+	// report.Write, not writeJSON: the body must be byte-identical to the
+	// document fsadvise -json writes for the same campaign.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = report.Write(w, adv)
+}
+
 // statusCode maps service errors onto HTTP codes.
 func statusCode(err error) int {
 	switch {
@@ -242,6 +314,8 @@ func statusCode(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
 }

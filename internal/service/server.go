@@ -52,6 +52,9 @@ var (
 	// ErrNotFinished reports a final-report request for a campaign that is
 	// still queued or running (HTTP 409).
 	ErrNotFinished = errors.New("service: campaign has not finished")
+	// ErrBadRequest wraps request-validation failures on read endpoints
+	// (malformed advice options, advice on a sharded campaign; HTTP 400).
+	ErrBadRequest = errors.New("service: bad request")
 )
 
 // State is a campaign's lifecycle position.
@@ -323,23 +326,35 @@ func (s *Server) runCampaign(c *campaign) {
 	}
 }
 
-// execute is the engine-facing half of runCampaign; it returns the final
-// index-sorted record list on full completion.
-func (s *Server) execute(c *campaign) ([]journal.Record, error) {
-	spec, ok := kernels.ByName(c.sub.Kernel)
+// buildTarget reconstructs and prepares a submission's injection target.
+// Both execute and Advice go through it, so advice is attributed against
+// exactly the profile the campaign ran on (and the shared prepared-target
+// cache makes the second Prepare a lookup, not a golden re-run).
+func (s *Server) buildTarget(sub Submission) (*kernels.Instance, error) {
+	spec, ok := kernels.ByName(sub.Kernel)
 	if !ok {
-		return nil, fmt.Errorf("unknown kernel %q", c.sub.Kernel)
+		return nil, fmt.Errorf("unknown kernel %q", sub.Kernel)
 	}
-	inst, err := spec.Build(c.sub.scale())
+	inst, err := spec.Build(sub.scale())
 	if err != nil {
 		return nil, err
 	}
-	inst.Target.WarpSize = c.sub.Warp
-	inst.Target.FullRun = c.sub.FullRun
-	inst.Target.CheckpointStride = c.sub.CkptStride
-	inst.Target.IntraStride = c.sub.IntraStride
+	inst.Target.WarpSize = sub.Warp
+	inst.Target.FullRun = sub.FullRun
+	inst.Target.CheckpointStride = sub.CkptStride
+	inst.Target.IntraStride = sub.IntraStride
 	inst.Target.Cache = s.cfg.Cache
 	if err := inst.Target.Prepare(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// execute is the engine-facing half of runCampaign; it returns the final
+// index-sorted record list on full completion.
+func (s *Server) execute(c *campaign) ([]journal.Record, error) {
+	inst, err := s.buildTarget(c.sub)
+	if err != nil {
 		return nil, err
 	}
 

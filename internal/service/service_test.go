@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/advisor"
 	"repro/internal/fault"
 	"repro/internal/journal"
 	"repro/internal/kernels"
@@ -581,5 +582,167 @@ func TestHTTPErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("malformed body: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// adviceBytes fetches the raw GET /campaigns/{id}/advice body.
+func adviceBytes(t *testing.T, ts *httptest.Server, id, query string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/campaigns/" + id + "/advice" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advice %s: HTTP %d: %s", id, resp.StatusCode, buf.String())
+	}
+	return buf.Bytes()
+}
+
+// TestAdviceEndpoint checks the tentpole's service-side guarantee: the
+// /advice body is byte-identical to what fsadvise emits for the campaign's
+// journal (both funnel through advisor.FromJournal + Analyze +
+// report.Write), for the default options and for an explicit option set.
+func TestAdviceEndpoint(t *testing.T) {
+	srv, err := service.New(service.Config{
+		DataDir: t.TempDir(),
+		Cache:   fault.NewPreparedCache(256 << 20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sub := service.Submission{Kernel: "GEMM K1", Sites: 60, Seed: 3}
+	id, _, code := postCampaign(t, ts, sub)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitDone(t, ts, id)
+
+	// The standalone reference: run the identical campaign into a journal
+	// and advise from it the way fsadvise -journal does.
+	dir := t.TempDir()
+	_, _ = standalone(t, dir, sub)
+	fp, recs, err := journal.ReadFile(filepath.Join(dir, "reference.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := kernels.ByName(sub.Kernel)
+	inst, err := spec.Build(kernels.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Target.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	in, err := advisor.FromJournal(inst.Target, fp, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		query string
+		opt   advisor.Options
+	}{
+		{"", advisor.Options{}},
+		{"?rank-by=severity&budget=2,10&confidence=0.99",
+			advisor.Options{RankBy: advisor.RankSeverity, Budgets: []float64{2, 10}, Confidence: 0.99}},
+	}
+	for _, c := range cases {
+		adv, err := advisor.Analyze(in, c.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := report.Write(&want, adv); err != nil {
+			t.Fatal(err)
+		}
+		if got := adviceBytes(t, ts, id, c.query); !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("advice %q differs from the fsadvise reference:\ngot:  %s\nwant: %s",
+				c.query, got, want.String())
+		}
+	}
+}
+
+// TestAdviceErrors maps the advice endpoint's failure modes onto status
+// codes: unknown campaign 404, unfinished 409, bad options 400.
+func TestAdviceErrors(t *testing.T) {
+	srv, err := service.New(service.Config{DataDir: t.TempDir(), Cache: fault.NewPreparedCache(256 << 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/campaigns/deadbeef00000000/advice"); code != http.StatusNotFound {
+		t.Errorf("unknown campaign: HTTP %d, want 404", code)
+	}
+
+	id, _, code := postCampaign(t, ts, service.Submission{Kernel: "GEMM K1", Sites: 40, Seed: 13})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitDone(t, ts, id)
+	if code := get("/campaigns/" + id + "/advice?rank-by=chaos"); code != http.StatusBadRequest {
+		t.Errorf("bad rank-by: HTTP %d, want 400", code)
+	}
+	if code := get("/campaigns/" + id + "/advice?confidence=2"); code != http.StatusBadRequest {
+		t.Errorf("bad confidence: HTTP %d, want 400", code)
+	}
+	if code := get("/campaigns/" + id + "/advice?budget=a,b"); code != http.StatusBadRequest {
+		t.Errorf("bad budget: HTTP %d, want 400", code)
+	}
+
+	// A queued campaign (worker pool busy or stopped) cannot be advised.
+	srv2, err := service.New(service.Config{DataDir: t.TempDir(), Cache: fault.NewPreparedCache(256 << 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never started: the submission stays queued.
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	qid, _, err := srv2.Submit(service.Submission{Kernel: "GEMM K1", Sites: 40, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts2.URL + "/campaigns/" + qid + "/advice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("advice of queued campaign: HTTP %d, want 409", resp.StatusCode)
+	}
+
+	// A sharded campaign's journal covers only its own sites; advising
+	// from it must be rejected as a bad request, not mis-ranked.
+	sid, _, code := postCampaign(t, ts, service.Submission{
+		Kernel: "GEMM K1", Sites: 40, Seed: 13, ShardIndex: 0, ShardCount: 2,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit shard: HTTP %d", code)
+	}
+	waitDone(t, ts, sid)
+	if code := get("/campaigns/" + sid + "/advice"); code != http.StatusBadRequest {
+		t.Errorf("advice of sharded campaign: HTTP %d, want 400", code)
 	}
 }

@@ -128,3 +128,71 @@ func LogBars(w io.Writer, labels []string, values []float64, width int) {
 			strings.Repeat("█", n), strings.Repeat(" ", width-n), v)
 	}
 }
+
+// Curve renders an x/y curve as a character grid — the shape of a
+// resilience-vs-cost frontier. Points are plotted with '●' and joined
+// visually by their density; the y axis is labelled at top and bottom,
+// the x axis with its min and max. width is the plot area in characters
+// (minimum 20), height in rows (minimum 5).
+func Curve(w io.Writer, xs, ys []float64, width, height int, xLabel, yLabel string) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	xLo, xHi := xs[0], xs[0]
+	yLo, yHi := ys[0], ys[0]
+	for i := range xs {
+		xLo, xHi = math.Min(xLo, xs[i]), math.Max(xHi, xs[i])
+		yLo, yHi = math.Min(yLo, ys[i]), math.Max(yHi, ys[i])
+	}
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	clamp := func(p, n int) int {
+		if p < 0 {
+			return 0
+		}
+		if p >= n {
+			return n - 1
+		}
+		return p
+	}
+	for i := range xs {
+		col := clamp(int(math.Round((xs[i]-xLo)/(xHi-xLo)*float64(width-1))), width)
+		row := clamp(int(math.Round((yHi-ys[i])/(yHi-yLo)*float64(height-1))), height)
+		grid[row][col] = '●'
+	}
+	labelW := len(fmt.Sprintf("%.4g", yHi))
+	if n := len(fmt.Sprintf("%.4g", yLo)); n > labelW {
+		labelW = n
+	}
+	fmt.Fprintf(w, "%s\n", yLabel)
+	for r, row := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%.4g", yHi)
+		case height - 1:
+			label = fmt.Sprintf("%.4g", yLo)
+		}
+		fmt.Fprintf(w, "%*s |%s\n", labelW, label, string(row))
+	}
+	fmt.Fprintf(w, "%*s +%s\n", labelW, "", strings.Repeat("─", width))
+	fmt.Fprintf(w, "%*s  %-*.4g%*.4g  %s\n", labelW, "", width/2, xLo, width-width/2, xHi, xLabel)
+}

@@ -79,3 +79,46 @@ func TestLogBarsDegenerate(t *testing.T) {
 		t.Fatalf("zero-only input: %q", buf.String())
 	}
 }
+
+func TestCurve(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{0, 10, 20, 30, 40}
+	ys := []float64{60, 30, 15, 5, 0}
+	textplot.Curve(&buf, xs, ys, 40, 8, "overhead %", "sdc %")
+	out := buf.String()
+	if strings.Count(out, "●") != len(xs) {
+		t.Fatalf("want %d plotted points:\n%s", len(xs), out)
+	}
+	for _, want := range []string{"sdc %", "overhead %", "60", "0", "40"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// The first point is the top-left extreme, the last the bottom-right:
+	// the first plot row must hold a point left of the last row's point.
+	lines := strings.Split(out, "\n")
+	first := strings.IndexRune(lines[1], '●')
+	last := -1
+	for _, l := range lines {
+		if i := strings.IndexRune(l, '●'); i >= 0 {
+			last = i
+		}
+	}
+	if first < 0 || last <= first {
+		t.Fatalf("curve does not descend left-to-right (first %d, last %d):\n%s", first, last, out)
+	}
+}
+
+func TestCurveDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	textplot.Curve(&buf, nil, nil, 40, 8, "x", "y")
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatalf("empty input: %q", buf.String())
+	}
+	buf.Reset()
+	// A single point must not divide by zero.
+	textplot.Curve(&buf, []float64{1}, []float64{1}, 40, 8, "x", "y")
+	if !strings.Contains(buf.String(), "●") {
+		t.Fatalf("single point not plotted: %q", buf.String())
+	}
+}
