@@ -3,9 +3,18 @@ GO ?= go
 # The perf trajectory across PRs: `make bench` records the current tree as
 # $(BENCH_OUT); `make ci` (via bench-check) fails when any benchmark present
 # in both files regressed more than 25% against $(BENCH_PREV).
-BENCH_PREV  ?= BENCH_pr7.json
-BENCH_OUT   ?= BENCH_pr8.json
-BENCH_COUNT ?= 2
+#
+# BENCH_COUNT is 6 because the gate runs on a shared single-vCPU box where
+# contention arrives in bursts: with only 2 samples per pass, both can land
+# inside one burst and a healthy benchmark reads as a >25% REGRESS purely
+# from noise (observed on PR 9's gate runs — interleaved re-measurement
+# showed unchanged medians). Six samples per pass, spread across
+# $(BENCH_PASSES) interleaved suite passes, put minutes between a
+# benchmark's samples so at least some of them dodge every burst; the
+# min-merge in benchjson then recovers the uncontended time.
+BENCH_PREV  ?= BENCH_pr8.json
+BENCH_OUT   ?= BENCH_pr10.json
+BENCH_COUNT ?= 6
 BENCH_PASSES ?= 3
 
 .PHONY: ci vet build test race campaign-smoke stuckat-smoke service-smoke advise-smoke doccheck bench-smoke bench bench-check bench-full
@@ -29,14 +38,21 @@ race:
 campaign-smoke:
 	$(GO) test -race -run 'TestCampaignInterruptResume|TestCampaignShardMerge' ./internal/fault
 
-# Persistent-fault smoke against the real fsprune CLI: a stuck-active-mask
-# campaign corrupts scheduler state, so every site must degrade to a full
-# run and say so in both the -stats line and the -json report; a stuck-pred
-# campaign must keep the fast-forward engine (no fallback field at all).
+# Persistent-fault smoke against the real fsprune CLI: snapshots carry the
+# full scheduler/synchronization ledger (DESIGN.md §3.11), so every
+# persistent model — scheduler-corrupting ones included — must keep the
+# fast-forward engine. For each model the -stats line must show CTA
+# skipping and no fallback note (the stats line only mentions fallbacks
+# when the count is nonzero, so the check is for absence), and the -json
+# report must omit the full_run_fallbacks field entirely.
 stuckat-smoke:
-	$(GO) run ./cmd/fsprune -kernel "GEMM K1" -action campaign -model stuck-active-mask -baseline 40 -stats | grep "40 full-run fallbacks" > /dev/null
-	$(GO) run ./cmd/fsprune -kernel "GEMM K1" -action campaign -model stuck-active-mask -baseline 40 -json | grep '"full_run_fallbacks"' > /dev/null
-	$(GO) run ./cmd/fsprune -kernel "GEMM K1" -action campaign -model stuck-pred -baseline 40 -json | { ! grep full_run_fallbacks; }
+	for m in stuck-active-mask stuck-barrier stuck-pred; do \
+		out=$$($(GO) run ./cmd/fsprune -kernel "GEMM K1" -action campaign -model $$m -baseline 40 -stats) || exit 1; \
+		echo "$$out" | grep "CTAs skipped" > /dev/null || { echo "stuckat-smoke: $$m stats line lacks CTA skipping"; exit 1; }; \
+		echo "$$out" | grep " 0 CTAs skipped" && { echo "stuckat-smoke: $$m campaign skipped no CTAs"; exit 1; }; \
+		echo "$$out" | grep "fallback" && { echo "stuckat-smoke: $$m stats line mentions fallbacks"; exit 1; }; \
+		$(GO) run ./cmd/fsprune -kernel "GEMM K1" -action campaign -model $$m -baseline 40 -json | grep full_run_fallbacks && { echo "stuckat-smoke: $$m json carries full_run_fallbacks"; exit 1; }; \
+	done; exit 0
 
 # The campaign service end to end against the real fsserve binary: serve on
 # a random port, submit, SIGTERM mid-campaign (clean exit 0), restart,

@@ -81,7 +81,12 @@ func TestAnalyzeFixture(t *testing.T) {
 			t.Fatalf("thread %d stats %+v, want 2 samples at 50%% SDC", tr.Thread, tr.RankStats)
 		}
 	}
-	// Wilson bounds come straight from the unweighted counts (1 of 2).
+	// Uniform unit weights: the Kish effective sample size equals the raw
+	// count exactly, so the Wilson bounds match the count-based interval
+	// (1 of 2) bit for bit.
+	if adv.Threads[0].EffectiveN != 2 {
+		t.Fatalf("uniform-weight effective n = %v, want exactly 2", adv.Threads[0].EffectiveN)
+	}
 	lo, hi := stats.WilsonInterval(1, 2, 0.95)
 	if !almost(adv.Threads[0].SDCLoPct, lo*100) || !almost(adv.Threads[0].SDCHiPct, hi*100) {
 		t.Fatalf("thread CI [%v,%v], want [%v,%v]",
@@ -135,6 +140,81 @@ func TestAnalyzeFixture(t *testing.T) {
 	}
 	if adv.Frontier[1].PCs[0] != 0 {
 		t.Fatalf("first protected pc %d, want 0", adv.Frontier[1].PCs[0])
+	}
+}
+
+// TestAnalyzeWeightedESS pins the Kish-corrected Wilson bounds on a
+// weighted campaign where the effective sample size differs from the raw
+// record count. Thread 0 carries three records with weights {4, 1, 1}:
+// ESS = (Σw)²/Σw² = 36/18 = 2, not 3, and the interval must be the Wilson
+// interval on the weighted SDC proportion (4/6) at 2 effective trials —
+// strictly wider than the raw-count interval the old code computed.
+func TestAnalyzeWeightedESS(t *testing.T) {
+	prog, err := ptx.Assemble("wess", `
+		add.u32 $r0, $r0, 0x00000001
+		mul.lo.u32 $r1, $r0, $r0
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := &trace.Profile{
+		Prog: prog,
+		Threads: []trace.ThreadProfile{
+			{ICnt: 3, PCs: []uint16{0, 1, 2}},
+		},
+		ThreadsPerCTA: 1,
+	}
+	in := &advisor.Input{
+		Kernel: "wess",
+		Seed:   1,
+		Model:  fault.ModelDestValue,
+		Sites:  3,
+		Records: []advisor.SiteRecord{
+			{Thread: 0, DynInst: 0, PC: 0, Outcome: fault.SDC, Weight: 4},
+			{Thread: 0, DynInst: 1, PC: 1, Outcome: fault.Masked, Weight: 1},
+			{Thread: 0, DynInst: 2, PC: 2, Outcome: fault.Masked, Weight: 1},
+		},
+		Prof: prof,
+	}
+	adv, err := advisor.Analyze(in, advisor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Threads) != 1 {
+		t.Fatalf("got %d thread ranks, want 1", len(adv.Threads))
+	}
+	tr := adv.Threads[0]
+	if tr.Samples != 3 {
+		t.Fatalf("samples = %d, want 3", tr.Samples)
+	}
+	if tr.EffectiveN != 2 {
+		t.Fatalf("effective n = %v, want exactly 2 (ESS of weights {4,1,1})", tr.EffectiveN)
+	}
+	// Rates remain the weighted shares.
+	if !almost(tr.SDCPct, 400.0/6) || !almost(tr.MaskedPct, 200.0/6) {
+		t.Fatalf("rates %+v, want sdc 66.67%% masked 33.33%%", tr.RankStats)
+	}
+	// Bounds come from the weighted proportion at the effective sample
+	// size, bit for bit.
+	lo, hi := stats.WilsonProportionInterval(4.0/6.0, 2, 0.95)
+	if tr.SDCLoPct != lo*100 || tr.SDCHiPct != hi*100 {
+		t.Fatalf("CI [%v,%v], want [%v,%v]", tr.SDCLoPct, tr.SDCHiPct, lo*100, hi*100)
+	}
+	// And they are wider than the raw-count interval would have been —
+	// the bug this pins: 1-of-3 raw counts understate the uncertainty of
+	// a 4-1-1 weighted group.
+	rawLo, rawHi := stats.WilsonInterval(1, 3, 0.95)
+	if hi-lo <= rawHi-rawLo {
+		t.Fatalf("ESS interval [%v,%v] not wider than raw-count [%v,%v]", lo, hi, rawLo, rawHi)
+	}
+
+	// The single-record pc0 group is one observation either way: ESS of a
+	// lone weight is exactly 1 regardless of its magnitude.
+	for _, ir := range adv.Instructions {
+		if ir.PC == 0 && ir.EffectiveN != 1 {
+			t.Fatalf("pc0 effective n = %v, want 1", ir.EffectiveN)
+		}
 	}
 }
 

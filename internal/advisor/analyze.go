@@ -15,21 +15,23 @@ import (
 // and byte-identical advice across the live and journal paths depends on
 // a fixed order).
 type groupAcc struct {
-	samples    int64
-	sdcSamples int64
-	masked     float64
-	sdc        float64
-	due        float64
-	eng        float64
+	samples int64
+	sumW    float64
+	sumW2   float64
+	masked  float64
+	sdc     float64
+	due     float64
+	eng     float64
 }
 
 func (g *groupAcc) add(o fault.Outcome, w float64) {
 	g.samples++
+	g.sumW += w
+	g.sumW2 += w * w
 	switch o {
 	case fault.Masked:
 		g.masked += w
 	case fault.SDC:
-		g.sdcSamples++
 		g.sdc += w
 	case fault.Crash, fault.Hang:
 		g.due += w
@@ -50,9 +52,22 @@ func (g *groupAcc) stats(rankBy string, confidence float64) report.RankStats {
 		}
 		return v / total * 100
 	}
-	lo, hi := stats.WilsonInterval(g.sdcSamples, g.samples, confidence)
+	// The interval's honest sample size is the Kish effective sample size,
+	// not the record count: under pruned-campaign weights a group's heavy
+	// sites dominate its rates, and pretending every record is a full
+	// observation would shrink the bounds below what the data supports.
+	// For uniform weights ESS equals the count exactly, so unweighted
+	// campaigns keep their classic count-based Wilson interval bit for bit
+	// (DESIGN.md §3.10).
+	ess := stats.KishESS(g.sumW, g.sumW2)
+	var pSDC float64
+	if total > 0 {
+		pSDC = g.sdc / total
+	}
+	lo, hi := stats.WilsonProportionInterval(pSDC, ess, confidence)
 	rs := report.RankStats{
 		Samples:      g.samples,
+		EffectiveN:   ess,
 		Weight:       total,
 		MaskedPct:    pct(g.masked),
 		SDCPct:       pct(g.sdc),

@@ -81,8 +81,11 @@ type CampaignStats struct {
 	IntraSkips int64
 	// FullRunFallbacks counts runs that ignored the target's checkpoint
 	// store and re-executed from the pristine image because their fault
-	// model is not fast-forward sound (DESIGN.md §3.9). Always zero on
-	// transient-model and FullRun campaigns.
+	// model is not fast-forward sound. Every built-in model is sound since
+	// the scheduler-complete snapshot work (DESIGN.md §3.11), so fresh runs
+	// always report zero; the counter survives so journals recorded under
+	// the old conservative engine (records carrying fb=1) replay and merge
+	// faithfully, and as the surface for future unsound models.
 	FullRunFallbacks int64
 	// IntraCheckpointBytes approximates the memory retained by the target's
 	// intra-CTA snapshot store (register files, shared memory, page deltas);

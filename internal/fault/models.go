@@ -107,20 +107,20 @@ func (m Model) Persistent() bool {
 }
 
 // FastForwardSound reports whether sites of this model may run on the
-// checkpointed fast-forward engine. Transient models and ModelStuckPred are
-// covered by the soundness arguments of DESIGN.md §3.2/§3.5/§3.9 — the
-// fault state is confined to the injected thread's private registers, so
-// resuming from a golden snapshot taken before the activation point
-// reproduces the full run exactly. ModelStuckActiveMask and
-// ModelStuckBarrier corrupt shared scheduler and synchronization state,
-// which the §3.9 argument deliberately does not cover; the campaign engine
-// degrades those sites to per-site full runs (CampaignStats.
-// FullRunFallbacks) instead of risking a silently unsound fast-forward.
+// checkpointed fast-forward engine. Every built-in model is sound:
+// transient models and ModelStuckPred by the arguments of DESIGN.md
+// §3.2/§3.5/§3.9 (the fault state is confined to the injected thread's
+// private registers), and the scheduler-corrupting ModelStuckActiveMask /
+// ModelStuckBarrier by the scheduler-complete snapshot argument of §3.11 —
+// snapshots capture the full scheduler and barrier ledger (CTA boundaries
+// carry none by construction; warp snapshots store every thread's parked
+// flag, barrier id, and retirement count), gpusim.Execute rejects a resume
+// past the fault's activation point, and the convergence early exit is
+// gated on fault retirement. A model returning false degrades its sites to
+// per-site full runs (CampaignStats.FullRunFallbacks) instead of risking a
+// silently unsound fast-forward; the hook remains for future models whose
+// fault state outlives the injected thread (e.g. SM-level stuck-ats).
 func (m Model) FastForwardSound() bool {
-	switch m {
-	case ModelStuckActiveMask, ModelStuckBarrier:
-		return false
-	}
 	return true
 }
 

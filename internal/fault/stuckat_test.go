@@ -55,9 +55,11 @@ func stuckReference(t *testing.T, ref *fault.Target, sites []fault.WeightedSite,
 // the persistent-fault subsystem: on the adversarial chainhang kernel
 // (cross-CTA global dependence, predicate-guarded barrier split), every
 // stuck-at site must give identical outcomes across {interpreter, compiled}
-// × {checkpointed + intra-CTA resume, full run} × {serial, warp} — with the
-// checkpointed engine transparently degrading fast-forward-unsound models to
-// per-site full runs (DESIGN.md §3.9), which the stats must surface.
+// × {checkpointed + intra-CTA resume, full run} × {serial, warp} — with every
+// model, including the scheduler-corrupting mask and barrier stuck-ats,
+// riding the fast-forward engine with zero full-run fallbacks (the
+// scheduler-complete snapshot argument, DESIGN.md §3.11), which the stats
+// must surface.
 func TestStuckAtMatchesFullRunExhaustive(t *testing.T) {
 	for _, warp := range []int{0, 4} {
 		warp := warp
@@ -114,31 +116,17 @@ func TestStuckAtMatchesFullRunExhaustive(t *testing.T) {
 							}
 						}
 						st := res.Stats
-						switch {
-						case v.fullRun:
-							// No checkpoint store exists, so nothing to fall
-							// back from.
-							if st.FullRunFallbacks != 0 {
-								t.Fatalf("%s: %d fallbacks without a checkpoint store", v.name, st.FullRunFallbacks)
-							}
-						case model.FastForwardSound():
-							// Stuck-pred rides the fast-forward engine like a
-							// transient fault.
-							if st.FullRunFallbacks != 0 {
-								t.Fatalf("%s: sound model %s fell back %d times", v.name, model, st.FullRunFallbacks)
-							}
+						if st.FullRunFallbacks != 0 {
+							// Every persistent model is fast-forward sound
+							// now; any fallback is a regression.
+							t.Fatalf("%s: model %s fell back %d times, want 0", v.name, model, st.FullRunFallbacks)
+						}
+						if !v.fullRun {
 							if st.CTAsSkipped == 0 {
 								t.Fatalf("%s: fast-forward never skipped a CTA for %s", v.name, model)
 							}
-						default:
-							// Mask/barrier faults force per-site full runs,
-							// one fallback per executed site.
-							if st.FullRunFallbacks != int64(len(sites)) {
-								t.Fatalf("%s: %s fell back %d times, want %d (one per site)",
-									v.name, model, st.FullRunFallbacks, len(sites))
-							}
-							if st.CTAsSkipped != 0 || st.EarlyExits != 0 || st.IntraSkips != 0 {
-								t.Fatalf("%s: %s still fast-forwarded: %+v", v.name, model, st)
+							if st.IntraSkips == 0 {
+								t.Fatalf("%s: intra-CTA resume never fired for %s", v.name, model)
 							}
 						}
 					}
@@ -210,10 +198,9 @@ func TestStuckAtGaussianEquivalence(t *testing.T) {
 									warp, model, fullRun, sites[i].Site, res.PerSite[i], want[i])
 							}
 						}
-						if !fullRun && !model.FastForwardSound() &&
-							res.Stats.FullRunFallbacks != int64(len(sites)) {
-							t.Fatalf("warp %d model %s: %d fallbacks, want %d",
-								warp, model, res.Stats.FullRunFallbacks, len(sites))
+						if res.Stats.FullRunFallbacks != 0 {
+							t.Fatalf("warp %d model %s fullrun %v: %d fallbacks, want 0",
+								warp, model, fullRun, res.Stats.FullRunFallbacks)
 						}
 					}
 				}
@@ -222,10 +209,14 @@ func TestStuckAtGaussianEquivalence(t *testing.T) {
 	}
 }
 
-// TestStuckAtCampaignSmoke pins the observability chain of the fallback
-// path end to end: the counter must reach CampaignStats.String, the report
-// JSON (full_run_fallbacks), the journal records (fb), and fsmerge's merged
-// document — and stay zero for a fast-forward-sound persistent model.
+// TestStuckAtCampaignSmoke pins the zero-fallback observability chain end to
+// end for every persistent model: since the scheduler-complete snapshot work
+// (DESIGN.md §3.11) no built-in model degrades to per-site full runs, so the
+// counter must read zero in CampaignStats, stay out of the stats line and
+// the report JSON (omitempty), aggregate to zero through the journal/fsmerge
+// path, and the campaign must demonstrably have fast-forwarded instead.
+// (The non-zero chain is covered by TestMixedEraJournalFallbacks, which
+// replays journals recorded under the old conservative engine.)
 func TestStuckAtCampaignSmoke(t *testing.T) {
 	run := func(model fault.Model, jpath string) *fault.CampaignResult {
 		tg := chainHangTarget(t)
@@ -251,54 +242,42 @@ func TestStuckAtCampaignSmoke(t *testing.T) {
 		return res
 	}
 
-	jpath := filepath.Join(t.TempDir(), "mask.journal")
-	res := run(fault.ModelStuckActiveMask, jpath)
-	if res.Stats.FullRunFallbacks != 40 {
-		t.Fatalf("stuck-active-mask fallbacks = %d, want 40", res.Stats.FullRunFallbacks)
-	}
-	if !strings.Contains(res.Stats.String(), "40 full-run fallbacks") {
-		t.Fatalf("stats string hides the fallbacks: %s", res.Stats)
-	}
-	doc, err := json.Marshal(report.NewCampaign(res.Stats))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(string(doc), `"full_run_fallbacks":40`) {
-		t.Fatalf("report JSON hides the fallbacks: %s", doc)
-	}
+	for _, model := range persistentModels {
+		jpath := filepath.Join(t.TempDir(), model.String()+".journal")
+		res := run(model, jpath)
+		if res.Stats.FullRunFallbacks != 0 {
+			t.Fatalf("%s fallbacks = %d, want 0", model, res.Stats.FullRunFallbacks)
+		}
+		if res.Stats.CTAsSkipped == 0 {
+			t.Fatalf("%s campaign never fast-forwarded", model)
+		}
+		if strings.Contains(res.Stats.String(), "fallback") {
+			t.Fatalf("%s stats line mentions fallbacks: %s", model, res.Stats)
+		}
+		doc, err := json.Marshal(report.NewCampaign(res.Stats))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(doc), "full_run_fallbacks") {
+			t.Fatalf("%s: zero fallbacks still serialized: %s", model, doc)
+		}
 
-	// The journal's per-record fb flags must aggregate back to the same
-	// count through the fsmerge path.
-	fp, recs, err := journal.ReadFile(jpath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	merged, err := report.NewMerged(fp, recs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if merged.Campaign.FullRunFallbacks != 40 {
-		t.Fatalf("merged report fallbacks = %d, want 40", merged.Campaign.FullRunFallbacks)
-	}
-	if merged.Model != fault.ModelStuckActiveMask.String() {
-		t.Fatalf("merged report model = %q", merged.Model)
-	}
-
-	// A sound persistent model keeps the fast-forward engine and the field
-	// disappears from the JSON (omitempty).
-	pres := run(fault.ModelStuckPred, "")
-	if pres.Stats.FullRunFallbacks != 0 {
-		t.Fatalf("stuck-pred fallbacks = %d, want 0", pres.Stats.FullRunFallbacks)
-	}
-	if pres.Stats.CTAsSkipped == 0 {
-		t.Fatal("stuck-pred campaign never fast-forwarded")
-	}
-	pdoc, err := json.Marshal(report.NewCampaign(pres.Stats))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if strings.Contains(string(pdoc), "full_run_fallbacks") {
-		t.Fatalf("zero fallbacks still serialized: %s", pdoc)
+		// The journal's per-record fb flags must aggregate to the same
+		// (zero) count through the fsmerge path.
+		fp, recs, err := journal.ReadFile(jpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := report.NewMerged(fp, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged.Campaign.FullRunFallbacks != 0 {
+			t.Fatalf("%s merged report fallbacks = %d, want 0", model, merged.Campaign.FullRunFallbacks)
+		}
+		if merged.Model != model.String() {
+			t.Fatalf("merged report model = %q, want %q", merged.Model, model)
+		}
 	}
 }
 
@@ -364,5 +343,107 @@ func TestParseModelRoundTrip(t *testing.T) {
 	}
 	if n := strings.Count(fault.ModelNames(), ","); n != int(fault.NumModels)-1 {
 		t.Fatalf("ModelNames lists %d commas for %d models: %s", n, fault.NumModels, fault.ModelNames())
+	}
+}
+
+// TestMixedEraJournalFallbacks: journals recorded under the old conservative
+// engine — whose scheduler-model records carry fb=1 because every such site
+// degraded to a per-site full run — must resume and fsmerge under the new
+// always-sound engine without skew: replayed outcomes are final, fresh sites
+// ride the fast-forward engine with zero new fallbacks, Dist/PerSite are
+// bit-identical to an uninterrupted new-engine campaign, and the merged
+// report's full_run_fallbacks equals exactly the old-era record count (each
+// fb flag counted once, never double-counted through replay).
+func TestMixedEraJournalFallbacks(t *testing.T) {
+	const oldEra = 12
+	model := fault.ModelStuckActiveMask
+	tg := chainHangTarget(t)
+	tg.CheckpointStride = 1
+	if err := tg.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	space := fault.NewSpace(tg.Profile())
+	sites := fault.Uniform(space.RandomModel(stats.NewRNG(9), 30, model))
+
+	// The uninterrupted reference under the new engine.
+	ref, err := fault.RunModel(tg, sites, model, fault.CampaignOptions{
+		Parallelism: 2, KeepPerSite: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge the old engine's journal: the first oldEra sites recorded as
+	// full-run fallbacks (fb=1, no fast-forward savings). Outcomes match the
+	// reference — the old conservative engine computed the same per-site
+	// outcomes, just via pristine full runs (PR 8's equivalence proof).
+	fp := tg.JournalFingerprint(model, len(sites), "small", 9, fault.Shard{})
+	jpath := filepath.Join(t.TempDir(), "oldera.journal")
+	j, err := journal.Open(jpath, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < oldEra; i++ {
+		rec := journal.Record{
+			Index: i, Thread: sites[i].Site.Thread, DynInst: sites[i].Site.DynInst,
+			Bit: sites[i].Site.Bit, Outcome: uint8(ref.PerSite[i]),
+			Weight: sites[i].Weight, FullRunFallback: true, Attempts: 1,
+		}
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume under the new engine.
+	j2, err := journal.Open(jpath, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	res, err := fault.RunModel(tg, sites, model, fault.CampaignOptions{
+		Parallelism: 2, KeepPerSite: true, Journal: j2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist != ref.Dist {
+		t.Fatalf("mixed-era dist %v != uninterrupted %v", res.Dist, ref.Dist)
+	}
+	for i := range ref.PerSite {
+		if res.PerSite[i] != ref.PerSite[i] {
+			t.Fatalf("site %d: mixed-era %v, reference %v", i, res.PerSite[i], ref.PerSite[i])
+		}
+	}
+	if res.Stats.Replayed != oldEra {
+		t.Fatalf("replayed %d records, want %d", res.Stats.Replayed, oldEra)
+	}
+	if res.Stats.FullRunFallbacks != 0 {
+		t.Fatalf("new engine recorded %d fresh fallbacks, want 0", res.Stats.FullRunFallbacks)
+	}
+	if res.Stats.CTAsSkipped == 0 {
+		t.Fatal("fresh sites never fast-forwarded")
+	}
+
+	// The fsmerge door: fb flags sum to the old-era record count only.
+	mfp, recs, err := journal.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(sites) {
+		t.Fatalf("journal holds %d records, want %d", len(recs), len(sites))
+	}
+	merged, err := report.NewMerged(mfp, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Campaign.FullRunFallbacks != oldEra {
+		t.Fatalf("merged fallbacks = %d, want %d (old-era records only, not double-counted)",
+			merged.Campaign.FullRunFallbacks, oldEra)
+	}
+	if want := report.NewProfile(ref.Dist); merged.Profile != want {
+		t.Fatalf("merged profile %+v != reference %+v", merged.Profile, want)
 	}
 }

@@ -330,7 +330,11 @@ type runCost struct {
 	intraResumed bool
 	// fullRunFallback marks a site whose model is not fast-forward sound:
 	// the target had a checkpoint store but this run deliberately ignored
-	// it and re-executed from the pristine image (DESIGN.md §3.9).
+	// it and re-executed from the pristine image. Every built-in model is
+	// sound since the scheduler-complete snapshot work (DESIGN.md §3.11),
+	// so this is always false today; it survives as the safety valve for
+	// future models and to keep journal `fb` replay of old campaigns
+	// faithful.
 	fullRunFallback bool
 }
 
@@ -339,15 +343,21 @@ type runCost struct {
 // itself — from the checkpoint snapshot nearest the injected CTA when the
 // target has a checkpoint store, from the pristine image otherwise.
 //
-// Fast-forward soundness (details in DESIGN.md §3.2): CTAs execute strictly
-// sequentially and share only global memory, and the simulator is
-// deterministic, so re-executing golden CTAs k..c-1 from the boundary-k
-// snapshot reproduces the full run's state at the injected CTA c exactly.
-// After c completes without a trap, if the run's global memory equals the
-// golden run's at boundary c+1 (Checkpoints.Converged over the run's dirty
-// pages), the remaining CTAs replay the golden run and the outcome is Masked
-// without executing them. A trap in a later CTA implies non-convergence at
-// c+1, so the early exit can never hide a crash or hang.
+// Fast-forward soundness (details in DESIGN.md §3.2 and, for persistent
+// scheduler faults, §3.11): CTAs execute strictly sequentially and share
+// only global memory, and the simulator is deterministic, so re-executing
+// golden CTAs k..c-1 from the boundary-k snapshot reproduces the full run's
+// state at the injected CTA c exactly. Persistent faults stay covered
+// because every snapshot is scheduler-complete — boundary snapshots carry no
+// live ledger by construction (every thread of prior CTAs has exited), warp
+// snapshots capture the full per-thread ledger, and gpusim.Execute rejects a
+// resume past the fault's activation point — so the fault re-arms and
+// activates at the identical architectural event. After c completes without
+// a trap, if the run's global memory equals the golden run's at boundary c+1
+// (Checkpoints.Converged over the run's dirty pages) and no persistent fault
+// is still live, the remaining CTAs replay the golden run and the outcome is
+// Masked without executing them. A trap in a later CTA implies
+// non-convergence at c+1, so the early exit can never hide a crash or hang.
 func (t *Target) injectOn(dev *gpusim.Device, site Site, model Model) (Outcome, runCost, error) {
 	var cost runCost
 	inj := &gpusim.Injection{
@@ -358,8 +368,11 @@ func (t *Target) injectOn(dev *gpusim.Device, site Site, model Model) (Outcome, 
 	ck, wck := t.ckpt, t.wck
 	if (ck != nil || wck != nil) && !model.FastForwardSound() {
 		// The model corrupts state the fast-forward soundness argument does
-		// not cover (DESIGN.md §3.9): degrade this site to a per-site full
-		// run rather than resume from a snapshot that may not reproduce it.
+		// not cover: degrade this site to a per-site full run rather than
+		// resume from a snapshot that may not reproduce it. No built-in model
+		// takes this path anymore (DESIGN.md §3.11 extends the proof to the
+		// scheduler-corrupting stuck-at models); it remains as the safety
+		// valve for future models.
 		cost.fullRunFallback = true
 		ck, wck = nil, nil
 	}
@@ -397,8 +410,15 @@ func (t *Target) injectOn(dev *gpusim.Device, site Site, model Model) (Outcome, 
 	launch.FirstCTA = first
 	converged := false
 	if ck != nil && cta+1 < ck.NumCTAs() {
-		launch.AfterCTA = func(idx int) bool {
-			if idx != cta {
+		launch.AfterCTA = func(idx int, faultLive bool) bool {
+			if idx != cta || faultLive {
+				// Converged is meaningless while a persistent fault is
+				// live: memory can match golden at the boundary while a
+				// stuck lane or barrier ghost still diverges a later CTA.
+				// A fault bound to a thread of CTA `cta` has always retired
+				// here (the CTA only completes once its threads exit), so
+				// the gate is a mechanical enforcement of that invariant
+				// rather than a reachable branch today (DESIGN.md §3.11).
 				return false
 			}
 			if ck.Converged(dev, cta+1) {

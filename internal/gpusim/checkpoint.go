@@ -90,6 +90,12 @@ func (c *Checkpoints) SnapshotIndex(cta int) int {
 // judged by 64-bit content hash (see Device.HashPage for the collision
 // argument). Must not be called once boundary == NumCTAs: the final state is
 // classified against the golden output instead.
+//
+// Callers must not consult Converged while a persistent fault is live (the
+// AfterCTA hook's faultLive flag): memory can match golden at the boundary
+// while a stuck lane or barrier ghost still diverges a later CTA, so the
+// early exit is only sound once the fault has retired with its thread
+// (DESIGN.md §3.11).
 func (c *Checkpoints) Converged(dev *Device, boundary int) bool {
 	dirty := dev.DirtyPages()
 	// Every page that golden changed between the resume checkpoint and this
@@ -169,8 +175,14 @@ func NewCheckpointRecorder(pristine, dev *Device, numCTAs, stride int) *Checkpoi
 
 // AfterCTA implements the Launch.AfterCTA hook: it folds the CTA's write set
 // into the cumulative hash map and clones a snapshot at strided boundaries.
-// It never stops the launch.
-func (r *CheckpointRecorder) AfterCTA(cta int) bool {
+// It never stops the launch. faultLive is ignored: recording happens only on
+// the fault-free golden run, where no persistent fault can be live. A CTA
+// boundary needs no scheduler or barrier ledger beyond the device image —
+// CTAs run strictly sequentially, a CTA retires only when every thread has
+// exited, and threads of a fresh CTA start with an empty ledger (no parked
+// flags, no barrier arrivals, election order fixed by thread order) — so the
+// device clone IS the complete resume point (DESIGN.md §3.11).
+func (r *CheckpointRecorder) AfterCTA(cta int, faultLive bool) bool {
 	b := cta + 1
 	r.buf = r.dev.TakeDirtyPages(r.buf)
 	if r.intra != nil {

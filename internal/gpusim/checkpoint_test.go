@@ -73,7 +73,7 @@ func TestExecuteFirstCTAResume(t *testing.T) {
 			dev := init.Clone()
 			head := chainLaunch(prog)
 			head.WarpSize = warp
-			head.AfterCTA = func(cta int) bool { return cta == split-1 }
+			head.AfterCTA = func(cta int, _ bool) bool { return cta == split-1 }
 			hres, err := gpusim.Execute(dev, head)
 			if err != nil {
 				t.Fatal(err)
@@ -205,7 +205,7 @@ func TestCheckpointRecorder(t *testing.T) {
 			ref := init.Clone()
 			if first > 0 {
 				pl := chainLaunch(prog)
-				pl.AfterCTA = func(c int) bool { return c == first-1 }
+				pl.AfterCTA = func(c int, _ bool) bool { return c == first-1 }
 				if _, err := gpusim.Execute(ref, pl); err != nil {
 					t.Fatal(err)
 				}
@@ -224,7 +224,7 @@ func TestCheckpointRecorder(t *testing.T) {
 			w.ResetFrom(snap)
 			rl := chainLaunch(prog)
 			rl.FirstCTA = first
-			rl.AfterCTA = func(c int) bool { return c == cta }
+			rl.AfterCTA = func(c int, _ bool) bool { return c == cta }
 			if _, err := gpusim.Execute(w, rl); err != nil {
 				t.Fatal(err)
 			}

@@ -104,11 +104,15 @@ type Launch struct {
 	// a resumed suffix is bit-identical to the same suffix of a full run.
 	FirstCTA int
 	// AfterCTA, when non-nil, is invoked after each CTA completes without a
-	// trap, with the CTA's linear index. Returning true stops the launch
-	// early: remaining CTAs are not executed and the Result reflects
-	// progress so far. Checkpoint capture and golden-state convergence
-	// checks hook here.
-	AfterCTA func(cta int) bool
+	// trap, with the CTA's linear index and whether a persistent fault is
+	// still live — armed or active with its injected thread not yet exited
+	// (always false for transient or absent injections). Returning true
+	// stops the launch early: remaining CTAs are not executed and the
+	// Result reflects progress so far. Checkpoint capture and golden-state
+	// convergence checks hook here; the faultLive flag lets convergence
+	// checks refuse to early-exit while a scheduler-corrupting fault could
+	// still diverge a later CTA (DESIGN.md §3.11).
+	AfterCTA func(cta int, faultLive bool) bool
 	// IntraRec, when non-nil, records intra-CTA (warp-granular) checkpoints
 	// of this run; set it only on the golden traced run. See
 	// WarpCheckpointRecorder.

@@ -67,6 +67,27 @@ func Execute(dev *Device, launch *Launch) (*Result, error) {
 			return nil, fmt.Errorf("gpusim: Resume snapshot shared size %d, launch wants %d", len(ws.shared), sharedBytes)
 		}
 	}
+	// A fast-forwarded launch is only sound if the skipped prefix is
+	// fault-free: the injection must lie at or after the resume point, still
+	// armed. Injections in a skipped CTA — or past a mid-CTA snapshot's
+	// already-retired instructions — would silently never fire (or fire
+	// late), so they are rejected here rather than producing a plausible but
+	// wrong outcome (DESIGN.md §3.11).
+	if inj := launch.Inject; inj != nil && launch.FirstCTA > 0 {
+		injCTA := inj.Thread / launch.Block.Count()
+		if injCTA < launch.FirstCTA {
+			return nil, fmt.Errorf("gpusim: injection thread %d lies in CTA %d, inside the prefix skipped by FirstCTA %d",
+				inj.Thread, injCTA, launch.FirstCTA)
+		}
+	}
+	if ws, inj := launch.Resume, launch.Inject; ws != nil && inj != nil {
+		if local := inj.Thread - ws.cta*launch.Block.Count(); local >= 0 && local < len(ws.dynAt) {
+			if ws.dynAt[local] > inj.DynInst {
+				return nil, fmt.Errorf("gpusim: Resume snapshot postdates the injection: thread %d already retired %d dynamic instructions, injection at %d",
+					inj.Thread, ws.dynAt[local], inj.DynInst)
+			}
+		}
+	}
 
 	nThreads := nCTA * launch.Block.Count()
 	res := &Result{ThreadICnt: make([]int64, nThreads)}
@@ -74,6 +95,13 @@ func Execute(dev *Device, launch *Launch) (*Result, error) {
 	threadsPerCTA := launch.Block.Count()
 	gx, gy := max(launch.Grid.X, 1), max(launch.Grid.Y, 1)
 	bx, by, bz := max(launch.Block.X, 1), max(launch.Block.Y, 1), max(launch.Block.Z, 1)
+
+	// injTh tracks the injected thread of a persistent fault once its CTA
+	// has been built, so AfterCTA can report whether the fault is still
+	// live. Before that CTA runs the fault is armed and conservatively
+	// live; after the thread exits (CTAs retire only when every thread is
+	// done or trapped) the fault is retired with it.
+	var injTh *threadState
 
 	// CTAs run in ctaid.z-major, x-minor launch order; ctaIndex is the
 	// linear position in that order, decoded back into grid coordinates so
@@ -107,6 +135,9 @@ func Execute(dev *Device, launch *Launch) (*Result, error) {
 				}
 			}
 		}
+		if p := e.persist; p != nil && p.thread/threadsPerCTA == ctaIndex {
+			injTh = cta.threads[p.thread-ctaIndex*threadsPerCTA]
+		}
 		if e.intra != nil {
 			e.intra.beginCTA(ctaIndex, cta)
 		}
@@ -130,7 +161,7 @@ func Execute(dev *Device, launch *Launch) (*Result, error) {
 			res.Trap = trap
 			return res, nil
 		}
-		if launch.AfterCTA != nil && launch.AfterCTA(ctaIndex) {
+		if launch.AfterCTA != nil && launch.AfterCTA(ctaIndex, e.persistLive(injTh)) {
 			return res, nil
 		}
 	}

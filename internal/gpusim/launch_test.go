@@ -312,3 +312,56 @@ func TestFallOffEndRetires(t *testing.T) {
 		t.Fatalf("falling off the end trapped: %v", res.Trap)
 	}
 }
+
+// TestAfterCTAFaultLive pins the fault-liveness contract of the AfterCTA
+// hook (DESIGN.md §3.11): a persistent injection is reported live at every
+// boundary before its thread's CTA completes and retired from that boundary
+// on; transient and absent injections are never live (their effects at a
+// boundary are plain memory state, fully covered by the snapshot image).
+func TestAfterCTAFaultLive(t *testing.T) {
+	prog := ptx.MustAssemble("live", `
+		cvt.u32.u16 $r0, %tid.x
+		exit
+	`)
+	cases := []struct {
+		name string
+		inj  *Injection
+		want []bool
+	}{
+		// Persistent fault on a thread of CTA 2 (flat 4..5).
+		{"persistent", &Injection{Thread: 4, DynInst: 0, Kind: InjectStuckPred},
+			[]bool{true, true, false, false}},
+		// A transient fault's liveness never extends past its own step.
+		{"transient", &Injection{Thread: 4, DynInst: 0, Kind: InjectDestValue},
+			[]bool{false, false, false, false}},
+		{"none", nil, []bool{false, false, false, false}},
+	}
+	for _, tc := range cases {
+		var got []bool
+		dev := NewDevice(16)
+		res, err := Execute(dev, &Launch{
+			Prog:   prog,
+			Grid:   Dim3{X: 4, Y: 1, Z: 1},
+			Block:  Dim3{X: 2, Y: 1, Z: 1},
+			Inject: tc.inj,
+			AfterCTA: func(cta int, faultLive bool) bool {
+				got = append(got, faultLive)
+				return false
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Trap != nil {
+			t.Fatalf("%s: trap %v", tc.name, res.Trap)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: %d boundaries, want %d", tc.name, len(got), len(tc.want))
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s: faultLive at boundary %d = %v, want %v (%v)", tc.name, i, got[i], tc.want[i], got)
+			}
+		}
+	}
+}

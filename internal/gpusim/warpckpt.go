@@ -52,6 +52,19 @@ const defaultIntraBudgetBytes = 256 << 20
 // WarpSnapshot is one intra-CTA capture point: the complete architectural
 // state needed to resume the CTA mid-flight, plus the global-memory delta
 // versus the floor CTA-boundary snapshot. Immutable after capture.
+//
+// "Complete" includes the scheduler and synchronization ledger, which is
+// what makes resuming sound under scheduler-corrupting persistent faults
+// (DESIGN.md §3.11): threads holds full threadState copies — parked flags
+// (waiting), barrier-arrival ids (barID), exit flags (done), and per-thread
+// retirement counts (dynCount) — in CTA-local thread order, which is also
+// the schedulers' fixed election order; shared is the CTA's shared memory;
+// dynAt pins each thread's position so SnapshotBefore can prove a snapshot
+// predates a fault's activation point (armed-but-not-yet-activated
+// persistState bookkeeping is derived, not stored: a resumed Execute
+// re-arms the fault from the Injection and activation compares dynCount
+// against DynInst, so a snapshot with dynAt[t] <= DynInst reproduces the
+// armed state exactly; Execute rejects resumes past the activation point).
 type WarpSnapshot struct {
 	cta     int
 	retired int64 // CTA-local retired-step count at capture
@@ -76,6 +89,17 @@ func (ws *WarpSnapshot) Retired() int64 { return ws.retired }
 // DynAt returns the dynamic instruction count of CTA-local thread t at
 // capture time.
 func (ws *WarpSnapshot) DynAt(t int) int64 { return ws.dynAt[t] }
+
+// Waiting reports whether CTA-local thread t was parked at a barrier at
+// capture time — part of the captured scheduler ledger.
+func (ws *WarpSnapshot) Waiting(t int) bool { return ws.threads[t].waiting }
+
+// BarrierID returns the barrier id CTA-local thread t was parked at (valid
+// when Waiting(t)) — part of the captured scheduler ledger.
+func (ws *WarpSnapshot) BarrierID(t int) uint32 { return ws.threads[t].barID }
+
+// Done reports whether CTA-local thread t had exited at capture time.
+func (ws *WarpSnapshot) Done(t int) bool { return ws.threads[t].done }
 
 // RestorePages writes the snapshot's global-memory delta into dev, which
 // must already hold the floor CTA-boundary snapshot's content. Writing goes

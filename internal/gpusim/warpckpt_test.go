@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/gpusim"
+	"repro/internal/ptx"
 )
 
 // TestSnapshotForBoundaries pins the boundary-store lookup semantics at the
@@ -52,7 +53,7 @@ func TestSnapshotForBoundaries(t *testing.T) {
 		ref := init.Clone()
 		if first > 0 {
 			pl := chainLaunch(prog)
-			pl.AfterCTA = func(c int) bool { return c == first-1 }
+			pl.AfterCTA = func(c int, _ bool) bool { return c == first-1 }
 			if _, err := gpusim.Execute(ref, pl); err != nil {
 				t.Fatal(err)
 			}
@@ -182,8 +183,9 @@ func TestWarpCheckpointResume(t *testing.T) {
 }
 
 // TestExecuteResumeValidation: a Resume snapshot that does not match the
-// launch (wrong CTA, wrong geometry) is a launch error, not silent
-// corruption.
+// launch (wrong CTA, wrong geometry) — or a fast-forwarded launch whose
+// skipped prefix would swallow the injection — is a launch error, not
+// silent corruption.
 func TestExecuteResumeValidation(t *testing.T) {
 	prog, init := chainSetup(t)
 	golden := init.Clone()
@@ -211,5 +213,120 @@ func TestExecuteResumeValidation(t *testing.T) {
 	bad.Resume = ws
 	if _, err := gpusim.Execute(init.Clone(), bad); err == nil {
 		t.Fatal("Resume with mismatched block geometry accepted")
+	}
+
+	// The injection lies in a CTA the fast-forwarded launch skips: the
+	// fault could never fire, so the launch is rejected (for persistent and
+	// transient kinds alike).
+	for _, kind := range []gpusim.InjectKind{gpusim.InjectStuckActiveMask, gpusim.InjectDestValue} {
+		bad = chainLaunch(prog)
+		bad.FirstCTA = 2
+		bad.Inject = &gpusim.Injection{Thread: 0, DynInst: 1, Kind: kind}
+		if _, err := gpusim.Execute(init.Clone(), bad); err == nil {
+			t.Fatalf("%v injection in the skipped CTA prefix accepted", kind)
+		}
+	}
+
+	// The Resume snapshot postdates the injection's activation point: the
+	// injected thread already retired past DynInst at capture.
+	if ws.DynAt(0) == 0 {
+		t.Fatalf("snapshot 2/0 captured thread 0 at dyn 0; want progress for this test")
+	}
+	bad = chainLaunch(prog)
+	bad.FirstCTA = 2
+	bad.Resume = ws
+	bad.Inject = &gpusim.Injection{Thread: 2 * 4, DynInst: ws.DynAt(0) - 1, Kind: gpusim.InjectStuckBarrier}
+	if _, err := gpusim.Execute(init.Clone(), bad); err == nil {
+		t.Fatal("Resume snapshot past the injection's activation point accepted")
+	}
+
+	// Positive control: the same snapshot with the injection at exactly the
+	// captured count is a legal armed-fault resume.
+	ok := chainLaunch(prog)
+	ok.FirstCTA = 2
+	ok.Resume = ws
+	ok.Inject = &gpusim.Injection{Thread: 2 * 4, DynInst: ws.DynAt(0), Kind: gpusim.InjectStuckBarrier}
+	dev := init.Clone()
+	ws.RestorePages(dev)
+	if _, err := gpusim.Execute(dev, ok); err != nil {
+		t.Fatalf("armed-fault resume at the capture point rejected: %v", err)
+	}
+}
+
+// TestWarpSnapshotCapturesSchedulerLedger: intra-CTA snapshots are
+// scheduler-complete (DESIGN.md §3.11). On a kernel that parks threads at a
+// non-zero barrier id while others have already exited, some capture must
+// witness a parked thread with its barrier id and an exited thread — and
+// resuming from every snapshot must still reproduce the golden run
+// bit-for-bit, proving the captured ledger is also restored.
+func TestWarpSnapshotCapturesSchedulerLedger(t *testing.T) {
+	prog := ptx.MustAssemble("ledger", `
+		cvt.u32.u16 $r0, %tid.x
+		set.lt.u32.u32 $p0/$o127, $r0, 4
+		@$p0.eq bra lexit          // threads 4..7 exit before the barrier
+		bar.sync 0x00000001
+		shl.u32 $r3, $r0, 0x00000002
+		mov.u32 $r1, 7
+		st.global.u32 [$r3], $r1
+		lexit: exit
+	`)
+	init := gpusim.NewDevice(64)
+	ledgerLaunch := func() *gpusim.Launch {
+		return &gpusim.Launch{
+			Prog:  prog,
+			Grid:  gpusim.Dim3{X: 1, Y: 1, Z: 1},
+			Block: gpusim.Dim3{X: 8, Y: 1, Z: 1},
+		}
+	}
+	golden := init.Clone()
+	wrec := gpusim.NewWarpCheckpointRecorder(golden, 1, 1)
+	l := ledgerLaunch()
+	l.IntraRec = wrec
+	res, err := gpusim.Execute(golden, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap != nil {
+		t.Fatalf("golden trap: %v", res.Trap)
+	}
+	wck := wrec.Finish()
+	want := golden.Bytes()
+
+	sawParked, sawExited := false, false
+	for ord := 0; ord < wck.PerCTA(0); ord++ {
+		ws := wck.Snapshot(0, ord)
+		for th := 0; th < 8; th++ {
+			if ws.Waiting(th) {
+				if id := ws.BarrierID(th); id != 1 {
+					t.Fatalf("snapshot %d: thread %d parked at barrier id %d, want 1", ord, th, id)
+				}
+				sawParked = true
+			}
+			if th >= 4 && ws.Done(th) {
+				sawExited = true
+			}
+		}
+
+		dev := init.Clone()
+		ws.RestorePages(dev)
+		rl := ledgerLaunch()
+		rl.FirstCTA = 0
+		rl.Resume = ws
+		rres, err := gpusim.Execute(dev, rl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rres.Trap != nil {
+			t.Fatalf("resume from snapshot %d trapped: %v", ord, rres.Trap)
+		}
+		if !bytes.Equal(dev.Bytes(), want) {
+			t.Fatalf("resume from snapshot %d diverges from golden", ord)
+		}
+	}
+	if !sawParked {
+		t.Fatal("no snapshot captured a thread parked at the barrier")
+	}
+	if !sawExited {
+		t.Fatal("no snapshot captured an exited thread alongside live ones")
 	}
 }

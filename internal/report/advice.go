@@ -43,11 +43,16 @@ type Advice struct {
 
 // RankStats is the per-group outcome summary shared by thread and
 // instruction rankings. Percentages are weighted shares of the group's
-// site mass; the Wilson bounds are computed from the unweighted sample
-// counts (samples, not weight, carry the statistical information).
+// site mass; the Wilson bounds are computed on the weighted SDC proportion
+// at the group's Kish effective sample size (EffectiveN), the honest
+// information content of a weighted sample.
 type RankStats struct {
 	// Samples is the number of injection outcomes observed in the group.
 	Samples int64 `json:"samples"`
+	// EffectiveN is the Kish effective sample size of the group's weights,
+	// (Σw)²/Σw² — equal to Samples for uniform weights, strictly smaller
+	// under pruned-campaign weights. It is the n behind the Wilson bounds.
+	EffectiveN float64 `json:"effective_n"`
 	// Weight is the group's share of the campaign's weighted site mass.
 	Weight float64 `json:"weight"`
 	// MaskedPct / SDCPct / DUEPct partition the group's weight. DUE
@@ -58,8 +63,8 @@ type RankStats struct {
 	DUEPct       float64 `json:"due_pct"`
 	EngineErrPct float64 `json:"engine_err_pct,omitempty"`
 	// SDCLoPct / SDCHiPct bound the group's true SDC probability at the
-	// document's confidence level (Wilson score interval on the unweighted
-	// SDC proportion).
+	// document's confidence level (Wilson score interval on the weighted
+	// SDC proportion, evaluated at EffectiveN trials).
 	SDCLoPct float64 `json:"sdc_lo_pct"`
 	SDCHiPct float64 `json:"sdc_hi_pct"`
 	// Score is the ranking criterion's value for the group.

@@ -437,9 +437,10 @@ func TestSubmitValidation(t *testing.T) {
 // TestStuckModelCampaign runs a persistent-fault campaign through the
 // service: the model is part of the campaign identity (no dedup against the
 // dest-value twin), the final report is byte-identical to the standalone
-// engine reference and carries the forced full-run fallback count, and a
-// restarted daemon recovers the journal back into a submission under the
-// same model.
+// engine reference with zero full-run fallbacks (scheduler-corrupting
+// models ride the fast-forward engine since DESIGN.md §3.11, so the
+// omitempty field stays out of the JSON), and a restarted daemon recovers
+// the journal back into a submission under the same model.
 func TestStuckModelCampaign(t *testing.T) {
 	dir := t.TempDir()
 	srv, err := service.New(service.Config{
@@ -481,8 +482,14 @@ func TestStuckModelCampaign(t *testing.T) {
 	if doc.Model != "stuck-active-mask" {
 		t.Errorf("report model = %q", doc.Model)
 	}
-	if doc.Campaign.FullRunFallbacks != int64(mask.Sites) {
-		t.Errorf("report fallbacks = %d, want %d", doc.Campaign.FullRunFallbacks, mask.Sites)
+	if doc.Campaign.FullRunFallbacks != 0 {
+		t.Errorf("report fallbacks = %d, want 0", doc.Campaign.FullRunFallbacks)
+	}
+	if bytes.Contains(got, []byte("full_run_fallbacks")) {
+		t.Errorf("zero fallbacks still serialized in report JSON: %s", got)
+	}
+	if doc.Campaign.CTAsSkipped == 0 {
+		t.Errorf("stuck-model campaign never fast-forwarded: %s", got)
 	}
 	srv.Stop()
 

@@ -12,9 +12,22 @@ func WilsonInterval(successes, n int64, confidence float64) (lo, hi float64) {
 	if n <= 0 {
 		return 0, 1
 	}
+	return WilsonProportionInterval(float64(successes)/float64(n), float64(n), confidence)
+}
+
+// WilsonProportionInterval is WilsonInterval generalized to a fractional
+// sample size: the Wilson score interval around proportion p as if it had
+// been estimated from n independent Bernoulli trials. Callers with integer
+// counts should prefer WilsonInterval (which delegates here, so the two
+// agree bit-for-bit); the fractional form exists for weighted campaigns,
+// where the honest n is the Kish effective sample size (KishESS), not the
+// record count. n <= 0 yields the vacuous interval [0, 1].
+func WilsonProportionInterval(p, n, confidence float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
 	z := TStat(confidence)
-	p := float64(successes) / float64(n)
-	nf := float64(n)
+	nf := n
 	denom := 1 + z*z/nf
 	center := (p + z*z/(2*nf)) / denom
 	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
@@ -26,6 +39,21 @@ func WilsonInterval(successes, n int64, confidence float64) (lo, hi float64) {
 		hi = 1
 	}
 	return lo, hi
+}
+
+// KishESS returns the Kish effective sample size of a weighted sample:
+// (Σw)² / Σw². Unequal weights carry less statistical information than
+// their raw count suggests — a group dominated by one heavy site is
+// effectively one observation, however many records it holds — and ESS is
+// the standard design-effect correction. For uniform weights the result
+// equals the record count exactly (n²/n in floats is exact while n² is
+// representable), so uniform-weight campaigns see no change from intervals
+// computed on raw counts.
+func KishESS(sumW, sumW2 float64) float64 {
+	if sumW2 <= 0 {
+		return 0
+	}
+	return sumW * sumW / sumW2
 }
 
 // MarginAt reports the half-width (in proportion units) of the Wilson

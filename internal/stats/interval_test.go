@@ -38,6 +38,59 @@ func TestWilsonShrinksWithN(t *testing.T) {
 	}
 }
 
+// TestWilsonProportionMatchesCounts pins the delegation contract: the
+// count-based interval and the fractional-n interval agree bit for bit on
+// integer inputs, so switching a caller from raw counts to an effective
+// sample size that happens to equal the count changes nothing.
+func TestWilsonProportionMatchesCounts(t *testing.T) {
+	f := func(s, n uint16) bool {
+		nn := int64(n%5000) + 1
+		ss := int64(s) % (nn + 1)
+		lo1, hi1 := WilsonInterval(ss, nn, 0.95)
+		lo2, hi2 := WilsonProportionInterval(float64(ss)/float64(nn), float64(nn), 0.95)
+		return lo1 == lo2 && hi1 == hi2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKishESS(t *testing.T) {
+	// Uniform unit weights: ESS equals the record count exactly (this
+	// exactness is what keeps unweighted advisor fixtures byte-identical).
+	for _, n := range []int{1, 2, 7, 120, 100000} {
+		sumW, sumW2 := float64(n), float64(n)
+		if got := KishESS(sumW, sumW2); got != float64(n) {
+			t.Fatalf("uniform ESS(%d) = %v, want exactly %v", n, got, float64(n))
+		}
+	}
+	// Weights {1, 1, 4}: (6)²/18 = 2 — three records carry two
+	// observations' worth of information.
+	if got := KishESS(6, 18); got != 2 {
+		t.Fatalf("ESS{1,1,4} = %v, want 2", got)
+	}
+	// One dominant weight collapses the group toward a single observation.
+	if got := KishESS(1+1000, 1+1000*1000); got >= 1.01 {
+		t.Fatalf("dominated ESS = %v, want ~1", got)
+	}
+	// Degenerate and empty inputs are harmless.
+	if got := KishESS(0, 0); got != 0 {
+		t.Fatalf("empty ESS = %v, want 0", got)
+	}
+}
+
+// TestKishWidensInterval: discounting n to the effective sample size can
+// only widen the interval (same p, smaller n ⇒ larger half-width).
+func TestKishWidensInterval(t *testing.T) {
+	p := 1.0 / 3.0
+	loRaw, hiRaw := WilsonProportionInterval(p, 3, 0.95)
+	loESS, hiESS := WilsonProportionInterval(p, KishESS(6, 18), 0.95)
+	if hiESS-loESS <= hiRaw-loRaw {
+		t.Fatalf("ESS interval [%v,%v] not wider than raw-count [%v,%v]",
+			loESS, hiESS, loRaw, hiRaw)
+	}
+}
+
 // TestWilsonProperty: for arbitrary (successes, n), the interval is ordered,
 // bounded, and contains the point estimate.
 func TestWilsonProperty(t *testing.T) {
